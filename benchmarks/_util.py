@@ -1,0 +1,64 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Scale control
+-------------
+The benches default to reduced scale so the whole suite regenerates every
+table and figure in minutes:
+
+- ``PPATUNER_BENCH_SCALE``: target-pool subsample for the Scenario One
+  bench (default 600; ``full`` = the paper's 5000 points).
+- ``PPATUNER_FULL=1``: paper-scale MAC designs (see DESIGN.md §2).
+
+Every bench prints the regenerated table/series to stdout (run pytest
+with ``-s`` to see them) and records wall-time via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bench import generate_benchmark
+from repro.core import PoolOracle, PPATuner, PPATunerConfig
+from repro.experiments import evaluate_outcome
+
+
+def scenario_one_scale() -> int | None:
+    """Pool scale for Scenario One benches (None = paper 5000)."""
+    raw = os.environ.get("PPATUNER_BENCH_SCALE", "600")
+    if raw.strip().lower() == "full":
+        return None
+    return int(raw)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def ppatuner_outcome(
+    target_name: str,
+    source_name: str,
+    names: tuple[str, ...],
+    config: PPATunerConfig,
+    scale: int | None = None,
+    seed: int = 0,
+    n_source: int = 200,
+):
+    """Run PPATuner once on a benchmark pair and score it."""
+    source = generate_benchmark(source_name)
+    target = generate_benchmark(target_name)
+    if scale is not None:
+        target = target.subsample(scale, seed=seed)
+    rng = np.random.default_rng(seed)
+    src_idx = rng.choice(source.n, min(n_source, source.n), replace=False)
+    oracle = PoolOracle(target.objectives(names))
+    result = PPATuner(config).tune(
+        target.X, oracle,
+        X_source=source.X[src_idx],
+        Y_source=source.objectives(names)[src_idx],
+    )
+    return evaluate_outcome(
+        "PPATuner", "-".join(names), result, target, names
+    )

@@ -1,0 +1,37 @@
+"""Ablation: the δ relaxation (Eq. (11)-(12) precision controller).
+
+δ trades final-front precision against tool runs: a loose δ decides
+quickly (few runs, coarser front), a tight δ keeps sampling.  This bench
+sweeps δ_rel on Target2 power-delay and prints the trade-off curve.
+"""
+
+from __future__ import annotations
+
+from repro.core import PPATunerConfig
+
+from _util import ppatuner_outcome, run_once
+
+DELTAS = (0.002, 0.01, 0.03, 0.08)
+
+
+def test_ablation_delta_sweep(benchmark):
+    names = ("power", "delay")
+
+    def sweep():
+        return {
+            dr: ppatuner_outcome(
+                "target2", "source2", names,
+                PPATunerConfig(max_iterations=50, seed=0, delta_rel=dr),
+            )
+            for dr in DELTAS
+        }
+
+    rows = run_once(benchmark, sweep)
+
+    print("\n=== Ablation: delta_rel sweep (Target2 power-delay) ===")
+    print(f"{'delta_rel':>10} {'HV':>8} {'ADRS':>8} {'Runs':>8}")
+    for dr, o in rows.items():
+        print(f"{dr:>10} {o.hv_error:8.3f} {o.adrs:8.3f} {o.runs:8d}")
+
+    # The loosest delta must not use more runs than the tightest.
+    assert rows[DELTAS[-1]].runs <= rows[DELTAS[0]].runs + 5

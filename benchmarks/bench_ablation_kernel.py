@@ -1,0 +1,36 @@
+"""Ablation: base-kernel family of the transfer GP (RBF vs Matérn-5/2).
+
+The paper does not commit to one base kernel; both are standard choices.
+This bench compares them on Target2 power-delay.
+"""
+
+from __future__ import annotations
+
+from repro.core import PPATunerConfig
+
+from _util import ppatuner_outcome, run_once
+
+KERNELS = ("rbf", "matern52")
+
+
+def test_ablation_kernel_family(benchmark):
+    names = ("power", "delay")
+
+    def sweep():
+        return {
+            k: ppatuner_outcome(
+                "target2", "source2", names,
+                PPATunerConfig(max_iterations=50, seed=0, kernel=k),
+            )
+            for k in KERNELS
+        }
+
+    rows = run_once(benchmark, sweep)
+
+    print("\n=== Ablation: base kernel (Target2 power-delay) ===")
+    print(f"{'kernel':>10} {'HV':>8} {'ADRS':>8} {'Runs':>8}")
+    for k, o in rows.items():
+        print(f"{k:>10} {o.hv_error:8.3f} {o.adrs:8.3f} {o.runs:8d}")
+
+    for o in rows.values():
+        assert o.hv_error < 0.5

@@ -1,0 +1,53 @@
+"""Ablation: transfer GP on vs off (the paper's central claim).
+
+Runs PPATuner on Target2 (power-delay) with and without the 200
+source-task points.  With transfer the tuner should need fewer tool runs
+and/or land closer to the golden frontier — the knowledge-reuse effect
+Section 3.1 is built for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PPATunerConfig
+
+from _util import ppatuner_outcome, run_once
+
+
+def test_ablation_transfer_on_off(benchmark):
+    names = ("power", "delay")
+
+    def run_both():
+        rows = {}
+        for label, transfer in (("transfer", True), ("no-transfer", False)):
+            outcomes = [
+                ppatuner_outcome(
+                    "target2", "source2", names,
+                    PPATunerConfig(
+                        max_iterations=50, seed=seed, transfer=transfer
+                    ),
+                    seed=seed,
+                )
+                for seed in (0, 1, 2)
+            ]
+            rows[label] = (
+                float(np.mean([o.hv_error for o in outcomes])),
+                float(np.mean([o.adrs for o in outcomes])),
+                float(np.mean([o.runs for o in outcomes])),
+            )
+        return rows
+
+    rows = run_once(benchmark, run_both)
+
+    print("\n=== Ablation: transfer GP on/off (3-seed mean) ===")
+    print(f"{'variant':<14} {'HV':>8} {'ADRS':>8} {'Runs':>8}")
+    for label, (hv, ad, runs) in rows.items():
+        print(f"{label:<14} {hv:8.3f} {ad:8.3f} {runs:8.1f}")
+
+    hv_t, ad_t, runs_t = rows["transfer"]
+    hv_n, ad_n, runs_n = rows["no-transfer"]
+    # Transfer must win on at least one axis without losing the others
+    # by more than noise.
+    improved = (hv_t < hv_n) + (ad_t < ad_n) + (runs_t < runs_n)
+    assert improved >= 2, rows

@@ -1,0 +1,70 @@
+"""Supplementary analysis: anytime convergence on Target2 power-delay.
+
+Replays every method's evaluation order and reports the hyper-volume
+error of the best-found front after each tool run — showing when each
+method gets good, not only where it ends (the crossover view the paper's
+tables imply but do not plot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import generate_benchmark
+from repro.core import PoolOracle
+from repro.experiments import make_method
+from repro.experiments.convergence import (
+    convergence_curve,
+    format_convergence_table,
+)
+from repro.experiments.scenarios import PAPER_BUDGET_FRACTIONS
+
+from _util import run_once
+
+METHODS = ("TCAD'19", "MLCAD'19", "DAC'19", "ASPDAC'20", "PPATuner",
+           "Random")
+
+
+def test_convergence_curves(benchmark):
+    names = ("power", "delay")
+
+    def run_all():
+        source = generate_benchmark("source2")
+        target = generate_benchmark("target2")
+        rng = np.random.default_rng(0)
+        src_idx = rng.choice(source.n, 200, replace=False)
+        init = rng.choice(target.n, 15, replace=False)
+        curves = []
+        for i, method in enumerate(METHODS):
+            frac = PAPER_BUDGET_FRACTIONS.get(method, {}).get(
+                "target2", 0.1
+            )
+            tuner = make_method(
+                method, max(20, int(frac * target.n)), target.n,
+                seed=97 * i,
+            )
+            oracle = PoolOracle(target.objectives(names))
+            result = tuner.tune(
+                target.X, oracle,
+                X_source=source.X[src_idx],
+                Y_source=source.objectives(names)[src_idx],
+                init_indices=init.copy(),
+            )
+            curves.append(
+                convergence_curve(method, result, target, names)
+            )
+        return curves
+
+    curves = run_once(benchmark, run_all)
+
+    print("\n=== Anytime convergence (Target2 power-delay): tool runs "
+          "to reach an HV-error level ===")
+    print(format_convergence_table(curves))
+
+    by_name = {c.method: c for c in curves}
+    # Guided methods must dominate random search at its own budget.
+    random_final = by_name["Random"].hv_error[-1]
+    assert by_name["PPATuner"].hv_error[-1] <= random_final + 0.05
+    # Every curve is monotone non-increasing by construction.
+    for c in curves:
+        assert np.all(np.diff(c.hv_error) <= 1e-12)

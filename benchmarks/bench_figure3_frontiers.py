@@ -1,0 +1,49 @@
+"""Paper Figure 3: Pareto frontiers in power-delay space on Target2.
+
+Runs every method in the power-delay objective space of Scenario Two and
+emits each method's frontier point series together with the golden one —
+exactly the scatter series of the paper's plot.
+
+Expected shape (paper): PPATuner's points hug the golden frontier more
+closely than any baseline's.
+"""
+
+from __future__ import annotations
+
+from repro.bench import generate_benchmark
+from repro.experiments import figure3_frontiers, run_scenario
+from repro.pareto import adrs
+
+from _util import run_once
+
+
+def test_figure3_power_delay_frontiers(benchmark):
+    source = generate_benchmark("source2")
+    target = generate_benchmark("target2")
+
+    result = run_once(benchmark, lambda: run_scenario(
+        source, target, "figure3", "target2",
+        objective_spaces={"power-delay": ("power", "delay")},
+        seed=0,
+    ))
+
+    series = figure3_frontiers(result, target)
+    print("\n=== Figure 3: power (mW) vs delay (ns) frontiers ===")
+    golden = series["golden"]
+    for name, pts in series.items():
+        tag = ""
+        if name != "golden":
+            tag = f"   (ADRS vs golden: {adrs(golden, pts):.4f})"
+        print(f"{name}:{tag}")
+        for p, d in pts:
+            print(f"  {p:8.3f}  {d:8.4f}")
+
+    assert "PPATuner" in series
+    # Shape check: PPATuner's frontier must sit close to the golden one
+    # (within 2.5x of the best method and absolutely close).
+    distances = {
+        name: adrs(golden, pts)
+        for name, pts in series.items() if name != "golden"
+    }
+    best = min(distances.values())
+    assert distances["PPATuner"] <= max(2.5 * best, 0.08), distances

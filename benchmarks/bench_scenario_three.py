@@ -1,0 +1,34 @@
+"""Extension scenario: tuning with a mixed-quality archive.
+
+Not a paper table — this exercises the multi-source transfer extension
+end-to-end: PPATuner given both a related archive and a shuffled decoy
+must match the related-only run and expose the decoy via a near-zero
+learned similarity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenario_three import (
+    format_scenario_three,
+    scenario_three,
+)
+
+from _util import run_once
+
+
+def test_scenario_three_mixed_archives(benchmark):
+    outcomes = run_once(benchmark, lambda: scenario_three(seed=0))
+
+    print("\n=== Scenario Three: mixed-quality archives "
+          "(Target2 power-delay) ===")
+    print(format_scenario_three(outcomes))
+
+    by_name = {o.variant: o for o in outcomes}
+    related = by_name["related-only"]
+    mixed = by_name["multi-source"]
+    # The decoy must not ruin multi-source tuning.
+    assert mixed.hv_error <= related.hv_error + 0.12
+    # The decoy archive's similarity must be small relative to the
+    # related archive's, for every objective model.
+    for per_obj in mixed.lambdas:
+        assert abs(per_obj[1]) <= abs(per_obj[0]) + 0.25

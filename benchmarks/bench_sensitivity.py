@@ -1,0 +1,37 @@
+"""Supplementary analysis: parameter sensitivity of the benchmarks.
+
+Not a paper table, but the analysis behind the paper's parameter
+pruning (Section 4.1: "several vital parameters ... which impact final
+design quality are considered").  Regenerates the per-parameter
+importance tables for both target benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.bench import generate_benchmark
+from repro.experiments.sensitivity import analyze_sensitivity
+
+from _util import run_once
+
+
+def test_sensitivity_reports(benchmark):
+    def analyze_both():
+        return {
+            name: analyze_sensitivity(generate_benchmark(name))
+            for name in ("target1", "target2")
+        }
+
+    reports = run_once(benchmark, analyze_both)
+
+    for name, report in reports.items():
+        print(f"\n=== Parameter sensitivity: {name} ===")
+        print(report.format())
+        for metric in report.metric_names:
+            print(f"top-3 for {metric}: "
+                  f"{', '.join(report.top_parameters(metric, 3))}")
+
+    # Physical sanity: utilization dominates area on both benchmarks;
+    # on target1, frequency is a top power knob.
+    for name, report in reports.items():
+        assert report.top_parameters("area", 1)[0] == "max_density_util"
+    assert "freq" in reports["target1"].top_parameters("power", 3)

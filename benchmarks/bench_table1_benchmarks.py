@@ -1,0 +1,32 @@
+"""Paper Table 1: the four offline benchmarks and their statistics.
+
+Regenerates (or loads from cache) Source1/Target1/Source2/Target2 with
+the paper's pool sizes and parameter ranges, and prints the benchmark
+statistics table alongside the golden-front sizes per objective space.
+"""
+
+from __future__ import annotations
+
+from repro.bench import OBJECTIVE_SPACES, PAPER_POOL_SIZES, generate_all
+from repro.experiments import format_benchmark_table
+
+from _util import run_once
+
+
+def test_table1_benchmark_statistics(benchmark):
+    benches = run_once(benchmark, generate_all)
+
+    print("\n=== Table 1: benchmark statistics ===")
+    print(format_benchmark_table([b.summary() for b in benches.values()]))
+    print("\nPaper pool sizes:", PAPER_POOL_SIZES)
+    print("\nGolden Pareto-front sizes per objective space:")
+    for name, dataset in benches.items():
+        sizes = {
+            space: len(dataset.golden_front(names))
+            for space, names in OBJECTIVE_SPACES.items()
+        }
+        print(f"  {name}: {sizes}")
+
+    for name, n in PAPER_POOL_SIZES.items():
+        assert benches[name].n == n
+        assert benches[name].Y.min() > 0

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Tuning a live tool with a custom parameter space (no offline table).
+
+The benchmark protocol evaluates against precomputed tables, but the
+library also drives the simulated PD tool *live* through a
+:class:`FlowOracle`: you define the knobs you care about, sample a
+candidate pool, and PPATuner invokes the tool only for the configurations
+it selects — the workflow you would use against a real EDA tool.
+
+Run (≈ 1 minute):
+    python examples/custom_tool_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import FlowOracle, PDFlow, PPATuner, PPATunerConfig
+from repro.pareto import pareto_front
+from repro.pdtool import SMALL_MAC
+from repro.space import (
+    EnumParameter,
+    FloatParameter,
+    IntParameter,
+    ParameterSpace,
+    latin_hypercube,
+)
+
+
+def main() -> None:
+    # 1. Your design and tool.
+    flow = PDFlow.for_mac(SMALL_MAC)
+
+    # 2. The knobs you want tuned — any subset of ToolParameters fields.
+    space = ParameterSpace((
+        FloatParameter("freq", 950.0, 1250.0),
+        EnumParameter("flow_effort", ("standard", "express", "extreme")),
+        FloatParameter("max_density_util", 0.6, 0.95),
+        IntParameter("max_fanout", 20, 48),
+        FloatParameter("max_allowed_delay", 0.0, 0.2),
+    ))
+
+    # 3. A candidate pool (Latin hypercube over your space).
+    configs = latin_hypercube(space, 250, seed=1)
+    X_pool = space.encode_many(configs)
+
+    # 4. A live oracle: area vs power here, any QoR fields work.
+    oracle = FlowOracle(flow, configs, objective_names=("area", "power"))
+
+    # 5. Tune.  (No source task here — PPATuner degrades gracefully to
+    #    single-task Pareto active learning.)
+    tuner = PPATuner(PPATunerConfig(max_iterations=30, seed=0))
+    result = tuner.tune(X_pool, oracle)
+
+    print(f"Tool invocations: {oracle.n_evaluations} of {len(configs)} "
+          f"candidates")
+    print(f"Pareto-optimal configurations found: "
+          f"{len(result.pareto_indices)}")
+    print()
+    print("Frontier (area um^2, power mW) and the configs behind it:")
+    front = pareto_front(result.pareto_points)
+    shown = set()
+    for idx in result.pareto_indices:
+        qor = oracle.evaluate(int(idx))
+        key = tuple(qor)
+        if key in shown or not any(
+            abs(qor[0] - a) < 1e-9 and abs(qor[1] - p) < 1e-9
+            for a, p in front
+        ):
+            continue
+        shown.add(key)
+        cfg = configs[idx]
+        print(f"  area={qor[0]:8.1f} power={qor[1]:6.3f}  "
+              f"freq={cfg['freq']:.0f} effort={cfg['flow_effort']:<8s} "
+              f"util={cfg['max_density_util']:.2f} "
+              f"fanout={cfg['max_fanout']} "
+              f"mad={cfg['max_allowed_delay']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

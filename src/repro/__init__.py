@@ -1,0 +1,60 @@
+"""PPATuner reproduction (DAC 2022).
+
+Pareto-driven physical-design tool parameter auto-tuning via Gaussian
+process transfer learning, plus every substrate the paper depends on:
+a simulated PD flow, offline benchmarks, GP/transfer-GP models, Pareto
+metrics, and the four baseline tuners.
+
+Quickstart::
+
+    from repro import PPATuner, PPATunerConfig, PoolOracle
+    from repro.bench import generate_benchmark
+
+    target = generate_benchmark("target2")
+    oracle = PoolOracle(target.objectives(("power", "delay")))
+    result = PPATuner(PPATunerConfig()).tune(target.X, oracle)
+"""
+
+from .baselines import (
+    Aspdac20Fist,
+    Dac19Recommender,
+    Mlcad19LcbBayesOpt,
+    RandomSearchTuner,
+    Tcad19ActiveLearner,
+)
+from .core import (
+    FlowOracle,
+    PPATuner,
+    PPATunerConfig,
+    PoolOracle,
+    TuningResult,
+)
+from .gp import GPRegressor, TransferGP, TransferKernel
+from .pareto import adrs, hypervolume, hypervolume_error, pareto_front
+from .pdtool import PDFlow, QoRReport, ToolParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aspdac20Fist",
+    "Dac19Recommender",
+    "FlowOracle",
+    "GPRegressor",
+    "Mlcad19LcbBayesOpt",
+    "PDFlow",
+    "PPATuner",
+    "PPATunerConfig",
+    "PoolOracle",
+    "QoRReport",
+    "RandomSearchTuner",
+    "Tcad19ActiveLearner",
+    "ToolParameters",
+    "TransferGP",
+    "TransferKernel",
+    "TuningResult",
+    "adrs",
+    "hypervolume",
+    "hypervolume_error",
+    "pareto_front",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Reimplemented prior-art tuners (the paper's comparison baselines)."""
+
+from .aspdac20 import Aspdac20Fist
+from .base import PoolTuner
+from .dac19 import Dac19Recommender
+from .mlcad19 import Mlcad19LcbBayesOpt
+from .random_search import RandomSearchTuner
+from .tcad19 import Tcad19ActiveLearner
+
+__all__ = [
+    "Aspdac20Fist",
+    "Dac19Recommender",
+    "Mlcad19LcbBayesOpt",
+    "PoolTuner",
+    "RandomSearchTuner",
+    "Tcad19ActiveLearner",
+]

@@ -1,0 +1,94 @@
+"""Common interface for the reimplemented baseline tuners.
+
+All four prior-art methods (TCAD'19, MLCAD'19, DAC'19, ASPDAC'20) are
+pool-based single-task tuners: they consume an evaluation budget over the
+target pool and report the non-dominated subset of what they evaluated.
+None of them uses source-task data — that contrast is the paper's point —
+but the interface accepts it so the experiment runner can call every tuner
+uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.oracle import FlowOracle, PoolOracle
+from ..core.result import TuningResult
+from ..pareto.dominance import pareto_indices
+
+Oracle = PoolOracle | FlowOracle
+
+
+class PoolTuner(ABC):
+    """Abstract pool-based tuner."""
+
+    #: Human-readable method name (used in reports).
+    name: str = "base"
+
+    @abstractmethod
+    def tune(
+        self,
+        X_pool: np.ndarray,
+        oracle: Oracle,
+        X_source: np.ndarray | None = None,
+        Y_source: np.ndarray | None = None,
+        init_indices: np.ndarray | None = None,
+    ) -> TuningResult:
+        """Run the tuner over the candidate pool.
+
+        Args:
+            X_pool: ``(n, d)`` raw candidate features.
+            oracle: Evaluation oracle aligned with the pool.
+            X_source: Historical features (ignored by non-transfer
+                methods).
+            Y_source: Historical objectives.
+            init_indices: Optional fixed initial evaluations.
+
+        Returns:
+            A :class:`TuningResult`.
+        """
+
+    @staticmethod
+    def _normalize(X: np.ndarray) -> np.ndarray:
+        """Min-max normalize features to the unit cube (degenerate
+        columns map to 0.5)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        lo, hi = X.min(axis=0), X.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        out = (X - lo) / span
+        return np.where(hi > lo, out, 0.5)
+
+    @staticmethod
+    def _result_from_evaluated(
+        oracle: Oracle,
+        evaluated: np.ndarray,
+        y_evaluated: np.ndarray,
+        n_iterations: int,
+        stop_reason: str,
+    ) -> TuningResult:
+        """Standard baseline epilogue: non-dominated evaluated points."""
+        evaluated = np.asarray(evaluated, dtype=int)
+        nd_rows = pareto_indices(y_evaluated)
+        return TuningResult(
+            pareto_indices=evaluated[nd_rows],
+            pareto_points=y_evaluated[nd_rows],
+            n_evaluations=oracle.n_evaluations,
+            n_iterations=n_iterations,
+            evaluated_indices=evaluated,
+            stop_reason=stop_reason,
+        )
+
+    @staticmethod
+    def _initial_indices(
+        n_pool: int,
+        init_indices: np.ndarray | None,
+        n_init: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Resolve the initial design (explicit or random)."""
+        if init_indices is not None:
+            return np.asarray(init_indices, dtype=int)
+        n_init = min(max(n_init, 2), n_pool)
+        return rng.choice(n_pool, size=n_init, replace=False)

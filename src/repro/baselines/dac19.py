@@ -1,0 +1,172 @@
+"""DAC'19 baseline: recommender-system tuning via matrix completion.
+
+Kwon, Ziegler, Carloni, "A learning-based recommender system for
+autotuning design flows of industrial high-performance processors"
+(DAC 2019).  Tool tuning is cast as collaborative filtering: a sparse
+(configuration x metric) rating matrix completed by a low-rank latent-
+factor model; each round recommends the configurations with the best
+predicted ratings, evaluates them, and refines the factorization.  Its
+rounds-of-recommendations protocol consumes more tool runs than the
+surrogate methods — matching its higher "Runs" column in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import TuningResult
+from ..ml.factorization import FeatureALS
+from .base import Oracle, PoolTuner
+
+
+class Dac19Recommender(PoolTuner):
+    """Latent-factor recommender over the candidate pool."""
+
+    name = "DAC'19"
+
+    def __init__(
+        self,
+        budget: int = 130,
+        n_init: int = 20,
+        batch_size: int = 8,
+        rank: int = 3,
+        reg: float = 0.1,
+        novelty_distance: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        """Create the tuner.
+
+        Args:
+            budget: Maximum tool runs.
+            n_init: Random initial evaluations.
+            batch_size: Recommendations evaluated per round.
+            rank: Latent dimensionality of the factorization.
+            reg: Ridge regularization.
+            novelty_distance: Minimum one-hot-feature distance between
+                items recommended in the same batch.
+            seed: RNG seed.
+        """
+        if budget < 2:
+            raise ValueError("budget must be >= 2")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.budget = budget
+        self.n_init = n_init
+        self.batch_size = batch_size
+        self.rank = rank
+        self.reg = reg
+        self.novelty_distance = novelty_distance
+        self.seed = seed
+
+    @staticmethod
+    def _one_hot_bins(Xn: np.ndarray, n_bins: int = 2) -> np.ndarray:
+        """Bin-and-one-hot encoding (plus bias column).
+
+        The original DAC'19 system is a collaborative-filtering
+        recommender over discrete parameter *settings*, not a regressor
+        over continuous features; binning reproduces that granularity.
+        """
+        n, d = Xn.shape
+        bins = np.clip((Xn * n_bins).astype(int), 0, n_bins - 1)
+        out = np.zeros((n, d * n_bins + 1))
+        cols = np.arange(d) * n_bins + bins
+        rows = np.repeat(np.arange(n), d)
+        out[rows, cols.ravel()] = 1.0
+        out[:, -1] = 1.0
+        return out
+
+    def tune(
+        self,
+        X_pool: np.ndarray,
+        oracle: Oracle,
+        X_source: np.ndarray | None = None,
+        Y_source: np.ndarray | None = None,
+        init_indices: np.ndarray | None = None,
+    ) -> TuningResult:
+        """Run recommendation rounds until the budget is exhausted.
+
+        When source-task data is supplied it is treated as the
+        recommender's archive (the original system recommends flows for
+        new designs from past tapeout records): archived ratings join
+        the observed matrix, so early recommendations carry the source
+        design's preferences — cheap knowledge reuse, with the
+        cross-design bias that implies.
+        """
+        rng = np.random.default_rng(self.seed)
+        Xn = self._one_hot_bins(self._normalize(X_pool))
+        n = len(Xn)
+        m = oracle.n_objectives
+
+        has_archive = (
+            X_source is not None and Y_source is not None
+            and len(np.atleast_2d(X_source)) > 0
+        )
+        if has_archive:
+            Xs = self._one_hot_bins(self._normalize(X_source))
+            Ys = np.atleast_2d(np.asarray(Y_source, dtype=float))
+            X_all = np.vstack([Xn, Xs])
+        else:
+            Ys = np.empty((0, m))
+            X_all = Xn
+
+        init = self._initial_indices(n, init_indices, self.n_init, rng)
+        evaluated = list(int(i) for i in init)
+        Y = np.vstack([oracle.evaluate(i) for i in evaluated])
+
+        iteration = 0
+        while oracle.n_evaluations < min(self.budget, n):
+            # Observed entries: every metric of every evaluated config,
+            # plus the archived source records (rows beyond the pool).
+            row_ids = np.concatenate([
+                np.asarray(evaluated, dtype=int),
+                n + np.arange(len(Ys), dtype=int),
+            ])
+            Y_obs = np.vstack([Y, Ys]) if len(Ys) else Y
+            rows = np.repeat(np.arange(len(row_ids)), m)
+            cols = np.tile(np.arange(m), len(row_ids))
+            # Normalize ratings per metric so no objective dominates the
+            # least-squares fit.
+            lo = Y_obs.min(axis=0)
+            span = np.where(
+                np.ptp(Y_obs, axis=0) > 0, np.ptp(Y_obs, axis=0), 1.0
+            )
+            ratings = ((Y_obs - lo) / span)[rows, cols]
+            model = FeatureALS(
+                rank=self.rank, reg=self.reg,
+                seed=self.seed + iteration,
+            )
+            obs = np.column_stack([row_ids[rows], cols])
+            model.fit(X_all, obs, ratings)
+
+            pred = model.predict_all(Xn)
+            mask = np.ones(n, dtype=bool)
+            mask[evaluated] = False
+            cand = np.nonzero(mask)[0]
+            if len(cand) == 0:
+                break
+            # Recommend by predicted rating (sum of normalized metrics),
+            # the way a recommender ranks items by one quality score,
+            # with a novelty constraint: a batch avoids near-duplicate
+            # items (standard recommender diversification).
+            ranked = cand[np.argsort(pred[cand].sum(axis=1))]
+            batch: list[int] = []
+            for idx in ranked:
+                if len(batch) >= self.batch_size:
+                    break
+                if batch:
+                    dmin = np.min(np.linalg.norm(
+                        Xn[batch] - Xn[idx], axis=1
+                    ))
+                    if dmin < self.novelty_distance:
+                        continue
+                batch.append(int(idx))
+            for pick in batch:
+                Y = np.vstack([Y, oracle.evaluate(int(pick))])
+                evaluated.append(int(pick))
+                if oracle.n_evaluations >= min(self.budget, n):
+                    break
+            iteration += 1
+
+        return self._result_from_evaluated(
+            oracle, np.array(evaluated), Y, iteration, "budget"
+        )

@@ -1,0 +1,46 @@
+"""Offline benchmarks (paper Table 1): spaces, generation, datasets."""
+
+from .dataset import OBJECTIVE_SPACES, QOR_METRICS, BenchmarkDataset
+from .io import export_benchmark_csv, import_benchmark_csv
+from .generate import (
+    CACHE_VERSION,
+    default_cache_dir,
+    design_spec,
+    evaluate_configs,
+    full_scale,
+    generate_all,
+    generate_benchmark,
+    get_flow,
+)
+from .spaces import (
+    BENCHMARK_DESIGN,
+    PAPER_POOL_SIZES,
+    SPACES,
+    source1_space,
+    source2_space,
+    target1_space,
+    target2_space,
+)
+
+__all__ = [
+    "BENCHMARK_DESIGN",
+    "CACHE_VERSION",
+    "OBJECTIVE_SPACES",
+    "PAPER_POOL_SIZES",
+    "QOR_METRICS",
+    "SPACES",
+    "BenchmarkDataset",
+    "default_cache_dir",
+    "export_benchmark_csv",
+    "import_benchmark_csv",
+    "design_spec",
+    "evaluate_configs",
+    "full_scale",
+    "generate_all",
+    "generate_benchmark",
+    "get_flow",
+    "source1_space",
+    "source2_space",
+    "target1_space",
+    "target2_space",
+]

@@ -1,0 +1,119 @@
+"""Offline benchmark datasets: configurations with golden QoR tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pareto.dominance import pareto_front, pareto_indices
+from ..space.space import Configuration, ParameterSpace
+
+#: The three headline QoR metrics, in storage order.
+QOR_METRICS = ("area", "power", "delay")
+
+#: The paper's three explored objective subsets (Tables 2-3 rows).
+OBJECTIVE_SPACES = {
+    "area-delay": ("area", "delay"),
+    "power-delay": ("power", "delay"),
+    "area-power-delay": ("area", "power", "delay"),
+}
+
+
+@dataclass
+class BenchmarkDataset:
+    """One offline benchmark: a pool of configurations with golden QoR.
+
+    Attributes:
+        name: Benchmark name (``source1`` ... ``target2``).
+        space: The parameter space the pool was sampled from.
+        configs: The pool configurations.
+        X: ``(n, d)`` encoded feature matrix (column order =
+            ``space.names``).
+        Y: ``(n, 3)`` golden metric matrix in :data:`QOR_METRICS` order.
+        design: Which MAC design produced the table.
+    """
+
+    name: str
+    space: ParameterSpace
+    configs: list[Configuration]
+    X: np.ndarray
+    Y: np.ndarray
+    design: str
+
+    def __post_init__(self) -> None:
+        if not (len(self.configs) == len(self.X) == len(self.Y)):
+            raise ValueError("configs/X/Y misaligned")
+        if self.Y.shape[1] != len(QOR_METRICS):
+            raise ValueError("Y must have area/power/delay columns")
+
+    @property
+    def n(self) -> int:
+        """Pool size."""
+        return len(self.configs)
+
+    def metric_column(self, metric: str) -> np.ndarray:
+        """Golden values of one metric.
+
+        Raises:
+            KeyError: For an unknown metric name.
+        """
+        return self.Y[:, QOR_METRICS.index(metric)]
+
+    def objectives(self, names: tuple[str, ...]) -> np.ndarray:
+        """Golden objective matrix restricted to ``names`` (in order)."""
+        cols = [QOR_METRICS.index(nm) for nm in names]
+        return self.Y[:, cols]
+
+    def golden_front(self, names: tuple[str, ...]) -> np.ndarray:
+        """The golden Pareto front in the ``names`` objective space.
+
+        The paper defines "golden" as the best within the offline table
+        (Section 4.1), exactly what this returns.
+        """
+        return pareto_front(self.objectives(names))
+
+    def golden_indices(self, names: tuple[str, ...]) -> np.ndarray:
+        """Pool indices of the golden Pareto configurations."""
+        return pareto_indices(self.objectives(names))
+
+    def subsample(self, n: int, seed: int = 0) -> "BenchmarkDataset":
+        """Random subset of the pool (used by reduced-scale benches).
+
+        Args:
+            n: Subset size (clamped to the pool size).
+            seed: Sampling seed.
+        """
+        if n >= self.n:
+            return self
+        rng = np.random.default_rng(seed)
+        idx = np.sort(rng.choice(self.n, size=n, replace=False))
+        return BenchmarkDataset(
+            name=f"{self.name}[{n}]",
+            space=self.space,
+            configs=[self.configs[i] for i in idx],
+            X=self.X[idx],
+            Y=self.Y[idx],
+            design=self.design,
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Human-readable stats (feeds the Table 1 regenerator)."""
+        return {
+            "name": self.name,
+            "n_points": self.n,
+            "n_parameters": self.space.dim,
+            "design": self.design,
+            "area_range": (
+                float(self.metric_column("area").min()),
+                float(self.metric_column("area").max()),
+            ),
+            "power_range": (
+                float(self.metric_column("power").min()),
+                float(self.metric_column("power").max()),
+            ),
+            "delay_range": (
+                float(self.metric_column("delay").min()),
+                float(self.metric_column("delay").max()),
+            ),
+        }

@@ -1,0 +1,107 @@
+"""Benchmark import/export: CSV interchange for offline tables.
+
+Lets users bring their *own* tool's tuning records into the framework
+(export a template, fill it from their flow, load it back as a
+:class:`BenchmarkDataset`) and inspect ours in a spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..space.space import Configuration, ParameterSpace
+from .dataset import QOR_METRICS, BenchmarkDataset
+
+
+def export_benchmark_csv(
+    dataset: BenchmarkDataset, path: str | Path
+) -> None:
+    """Write a benchmark as CSV: one row per configuration.
+
+    Columns: the parameter names (native values), then
+    area/power/delay.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(dataset.space.names) + list(QOR_METRICS))
+        for config, qor in zip(dataset.configs, dataset.Y):
+            writer.writerow(
+                [config[name] for name in dataset.space.names]
+                + [repr(float(v)) for v in qor]
+            )
+
+
+def import_benchmark_csv(
+    path: str | Path,
+    space: ParameterSpace,
+    name: str = "imported",
+    design: str = "external",
+) -> BenchmarkDataset:
+    """Load a benchmark from CSV written by :func:`export_benchmark_csv`
+    (or hand-built with the same columns).
+
+    Args:
+        path: CSV file.
+        space: Parameter space describing the columns.
+        name: Dataset name.
+        design: Design label.
+
+    Returns:
+        The reconstructed :class:`BenchmarkDataset`.
+
+    Raises:
+        ValueError: On missing columns or malformed rows.
+    """
+    path = Path(path)
+    configs: list[Configuration] = []
+    rows: list[list[float]] = []
+    with path.open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError("empty CSV")
+        expected = list(space.names) + list(QOR_METRICS)
+        if header != expected:
+            raise ValueError(
+                f"CSV columns {header} do not match expected {expected}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(expected):
+                raise ValueError(f"row {line_no}: wrong column count")
+            config: Configuration = {}
+            for param, raw in zip(space.parameters, row):
+                config[param.name] = _parse_value(raw)
+            space.validate(config)
+            configs.append(config)
+            rows.append([float(v) for v in row[space.dim:]])
+    if not configs:
+        raise ValueError("CSV contains no data rows")
+    return BenchmarkDataset(
+        name=name,
+        space=space,
+        configs=configs,
+        X=space.encode_many(configs),
+        Y=np.array(rows),
+        design=design,
+    )
+
+
+def _parse_value(raw: str) -> object:
+    """Parse a CSV cell back to bool/int/float/str."""
+    text = raw.strip()
+    if text in ("True", "False"):
+        return text == "True"
+    try:
+        as_int = int(text)
+    except ValueError:
+        pass
+    else:
+        return as_int
+    try:
+        return float(text)
+    except ValueError:
+        return text

@@ -1,0 +1,113 @@
+"""The four benchmark parameter spaces of paper Table 1, verbatim.
+
+Source1/Target1 tune 12 parameters of the small MAC design; Source2 tunes
+9 parameters of the same small MAC and Target2 the same 9 on the larger
+MAC.  Ranges are copied from Table 1 ("-" rows excluded per benchmark).
+The paper's ``max_density`` (placement bin cap) and ``max_Density`` (area
+utilization) are distinct knobs; see DESIGN.md §7 for the naming.
+"""
+
+from __future__ import annotations
+
+from ..space.parameters import (
+    BoolParameter,
+    EnumParameter,
+    FloatParameter,
+    IntParameter,
+)
+from ..space.space import ParameterSpace
+
+_FLOW_EFFORT = ("standard", "express", "extreme")
+_CONG_EFFORT = ("AUTO", "MEDIUM", "HIGH")
+_TIMING_EFFORT = ("medium", "high")
+
+
+def source1_space() -> ParameterSpace:
+    """Source1: 12 parameters of the small MAC (Table 1, columns 2-3)."""
+    return ParameterSpace((
+        FloatParameter("freq", 950.0, 1050.0),
+        FloatParameter("place_uncertainty", 50.0, 200.0),
+        EnumParameter("flow_effort", _FLOW_EFFORT),
+        BoolParameter("uniform_density"),
+        EnumParameter("cong_effort", _CONG_EFFORT),
+        FloatParameter("max_density_place", 0.65, 0.90),
+        FloatParameter("max_length", 160.0, 310.0),
+        FloatParameter("max_density_util", 0.65, 0.90),
+        FloatParameter("max_transition", 0.19, 0.34),
+        FloatParameter("max_capacitance", 0.08, 0.13),
+        IntParameter("max_fanout", 25, 50),
+        FloatParameter("max_allowed_delay", 0.00, 0.25),
+    ))
+
+
+def target1_space() -> ParameterSpace:
+    """Target1: 12 parameters of the small MAC (Table 1, columns 4-5)."""
+    return ParameterSpace((
+        FloatParameter("freq", 1000.0, 1300.0),
+        FloatParameter("place_uncertainty", 20.0, 100.0),
+        EnumParameter("flow_effort", _FLOW_EFFORT),
+        BoolParameter("uniform_density"),
+        EnumParameter("cong_effort", _CONG_EFFORT),
+        FloatParameter("max_density_place", 0.65, 0.90),
+        FloatParameter("max_length", 160.0, 300.0),
+        FloatParameter("max_density_util", 0.65, 0.90),
+        FloatParameter("max_transition", 0.10, 0.35),
+        FloatParameter("max_capacitance", 0.08, 0.20),
+        IntParameter("max_fanout", 25, 50),
+        FloatParameter("max_allowed_delay", 0.00, 0.25),
+    ))
+
+
+def source2_space() -> ParameterSpace:
+    """Source2: 9 parameters of the small MAC (Table 1, columns 6-7)."""
+    return ParameterSpace((
+        FloatParameter("place_rcfactor", 1.00, 1.30),
+        EnumParameter("flow_effort", _FLOW_EFFORT),
+        EnumParameter("timing_effort", _TIMING_EFFORT),
+        BoolParameter("clock_power_driven"),
+        FloatParameter("max_length", 250.0, 350.0),
+        FloatParameter("max_density_util", 0.50, 1.00),
+        FloatParameter("max_capacitance", 0.07, 0.12),
+        IntParameter("max_fanout", 25, 40),
+        FloatParameter("max_allowed_delay", 0.06, 0.12),
+    ))
+
+
+def target2_space() -> ParameterSpace:
+    """Target2: 9 parameters of the large MAC (Table 1, columns 8-9)."""
+    return ParameterSpace((
+        FloatParameter("place_rcfactor", 1.00, 1.30),
+        EnumParameter("flow_effort", _FLOW_EFFORT),
+        EnumParameter("timing_effort", _TIMING_EFFORT),
+        BoolParameter("clock_power_driven"),
+        FloatParameter("max_length", 250.0, 350.0),
+        FloatParameter("max_density_util", 0.50, 1.00),
+        FloatParameter("max_capacitance", 0.05, 0.15),
+        IntParameter("max_fanout", 25, 39),
+        FloatParameter("max_allowed_delay", 0.00, 0.12),
+    ))
+
+
+#: Paper pool sizes per benchmark (Table 1 / Section 4.1).
+PAPER_POOL_SIZES = {
+    "source1": 5000,
+    "target1": 5000,
+    "source2": 1440,
+    "target2": 727,
+}
+
+#: Space factory per benchmark name.
+SPACES = {
+    "source1": source1_space,
+    "target1": target1_space,
+    "source2": source2_space,
+    "target2": target2_space,
+}
+
+#: Which design each benchmark runs on ("small" or "large" MAC).
+BENCHMARK_DESIGN = {
+    "source1": "small",
+    "target1": "small",
+    "source2": "small",
+    "target2": "large",
+}

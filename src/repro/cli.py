@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``generate``      build/refresh the offline benchmark tables
+- ``tune``          run PPATuner on one benchmark pair
+- ``scenario``      reproduce a paper table (Scenario One or Two)
+- ``sensitivity``   parameter-sensitivity report for one benchmark
+- ``export``        write a generated MAC netlist as structural Verilog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .bench import generate_all, generate_benchmark
+    from .experiments import format_benchmark_table
+
+    if args.benchmark == "all":
+        benches = generate_all(cache=not args.no_cache)
+    else:
+        benches = {
+            args.benchmark: generate_benchmark(
+                args.benchmark, n_points=args.points,
+                cache=not args.no_cache,
+            )
+        }
+    print(format_benchmark_table([b.summary() for b in benches.values()]))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .bench import OBJECTIVE_SPACES, generate_benchmark
+    from .core import PoolOracle, PPATuner, PPATunerConfig
+    from .pareto import adrs, hypervolume_error, pareto_front
+
+    names = OBJECTIVE_SPACES[args.objectives]
+    target = generate_benchmark(args.target)
+    if args.scale:
+        target = target.subsample(args.scale, seed=args.seed)
+    oracle = PoolOracle(target.objectives(names))
+
+    kwargs = {}
+    if args.source:
+        source = generate_benchmark(args.source)
+        rng = np.random.default_rng(args.seed)
+        idx = rng.choice(
+            source.n, min(args.n_source, source.n), replace=False
+        )
+        kwargs = {
+            "X_source": source.X[idx],
+            "Y_source": source.objectives(names)[idx],
+        }
+
+    config = PPATunerConfig(
+        max_iterations=args.max_iterations, seed=args.seed,
+    )
+    result = PPATuner(config).tune(target.X, oracle, **kwargs)
+
+    golden = target.golden_front(names)
+    found = pareto_front(result.pareto_points)
+    print(f"runs={result.n_evaluations} iterations={result.n_iterations} "
+          f"stop={result.stop_reason}")
+    print(f"hv_error={hypervolume_error(found, golden):.4f} "
+          f"adrs={adrs(golden, found):.4f} "
+          f"pareto_found={len(result.pareto_indices)}")
+    for row in found:
+        print("  " + "  ".join(f"{v:10.4f}" for v in row))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .experiments import (
+        export_scenario_csv,
+        export_scenario_json,
+        format_scenario_table,
+        scenario_one,
+        scenario_two,
+    )
+
+    runner = scenario_one if args.which == "one" else scenario_two
+    result = runner(scale=args.scale, seed=args.seed)
+    print(format_scenario_table(result))
+    if args.json:
+        export_scenario_json(result, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        export_scenario_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .bench import generate_benchmark
+    from .experiments.sensitivity import analyze_sensitivity
+
+    dataset = generate_benchmark(args.benchmark)
+    report = analyze_sensitivity(dataset, seed=args.seed)
+    print(report.format())
+    for metric in report.metric_names:
+        top = ", ".join(report.top_parameters(metric, 3))
+        print(f"top-3 for {metric}: {top}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .bench.generate import design_spec
+    from .pdtool import generate_mac_netlist, write_verilog
+
+    netlist = generate_mac_netlist(design_spec(args.design))
+    write_verilog(netlist, args.output)
+    print(f"wrote {args.output} ({netlist.n_cells} cells, "
+          f"{netlist.n_primary_inputs} inputs)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PPATuner (DAC 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="build offline benchmark tables")
+    p.add_argument("benchmark", choices=(
+        "all", "source1", "target1", "source2", "target2",
+    ))
+    p.add_argument("--points", type=int, default=None,
+                   help="pool size override")
+    p.add_argument("--no-cache", action="store_true")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("tune", help="run PPATuner on a benchmark")
+    p.add_argument("target", choices=("target1", "target2"))
+    p.add_argument("--source", choices=("source1", "source2"),
+                   default=None)
+    p.add_argument("--objectives", default="power-delay", choices=(
+        "area-delay", "power-delay", "area-power-delay",
+    ))
+    p.add_argument("--scale", type=int, default=None,
+                   help="subsample the target pool")
+    p.add_argument("--n-source", type=int, default=200)
+    p.add_argument("--max-iterations", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("scenario", help="reproduce a paper table")
+    p.add_argument("which", choices=("one", "two"))
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default=None, help="export records to JSON")
+    p.add_argument("--csv", default=None, help="export records to CSV")
+    p.set_defaults(func=_cmd_scenario)
+
+    p = sub.add_parser("sensitivity",
+                       help="parameter-sensitivity report")
+    p.add_argument("benchmark", choices=(
+        "source1", "target1", "source2", "target2",
+    ))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("export", help="write a MAC design as Verilog")
+    p.add_argument("design", choices=("small", "large"))
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""PPATuner core (the paper's contribution, Algorithm 1)."""
+
+from .config import PPATunerConfig
+from .decision import apply_decision_rules
+from .oracle import FlowOracle, PoolOracle
+from .result import IterationRecord, TuningResult
+from .selection import select_next
+from .tuner import PPATuner
+from .uncertainty import UncertaintyRegions, prediction_rectangle
+
+__all__ = [
+    "FlowOracle",
+    "IterationRecord",
+    "PPATuner",
+    "PPATunerConfig",
+    "PoolOracle",
+    "TuningResult",
+    "UncertaintyRegions",
+    "apply_decision_rules",
+    "prediction_rectangle",
+    "select_next",
+]

@@ -1,0 +1,72 @@
+"""Configuration of the PPATuner loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PPATunerConfig:
+    """Hyperparameters of Algorithm 1.
+
+    Attributes:
+        tau: Uncertainty-region scaling (Eq. (9)); the hyper-rectangle
+            half-width is ``sqrt(tau) * sigma``.
+        delta_rel: Relaxation vector δ (Eq. (11)/(12)) as a *fraction of
+            each objective's observed range*; the absolute δ is derived
+            from the initialization data.  Scalar applies to all
+            objectives.
+        batch_size: Configurations sent to the tool per iteration (the
+            paper's parallel-license batch trials).
+        max_iterations: ``T_max``.
+        kernel: Base kernel family (``"rbf"`` or ``"matern52"``).
+        refit_every: Re-optimize GP hyperparameters every this many
+            iterations (posteriors are refreshed every iteration).
+        n_restarts: Hyperparameter-optimizer restarts.
+        transfer: If False, source data is ignored (ablation switch).
+        noise_in_regions: Include the learned observation-noise variance
+            in the uncertainty rectangles (wider, slower, noise-robust
+            decisions); default reasons with epistemic uncertainty only.
+        pareto_delta_scale: Multiplier on δ for the Pareto-classification
+            rule (Eq. (12)).  Classification errors are repaired by the
+            final tool verification while wrong drops are permanent, so
+            classifying more generously than dropping is safe.
+        seed: RNG seed for initial sampling and tie-breaking.
+        init_fraction: Fraction of the target pool evaluated during
+            initialization (the paper uses "no more than 5%").
+        min_init: Lower bound on initial target evaluations.
+    """
+
+    tau: float = 16.0
+    delta_rel: float | np.ndarray = 0.01
+    batch_size: int = 1
+    max_iterations: int = 500
+    kernel: str = "rbf"
+    refit_every: int = 10
+    n_restarts: int = 1
+    transfer: bool = True
+    noise_in_regions: bool = False
+    pareto_delta_scale: float = 3.0
+    seed: int = 0
+    init_fraction: float = 0.02
+    min_init: int = 5
+
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if np.any(np.asarray(self.delta_rel) < 0):
+            raise ValueError("delta_rel must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0.0 < self.init_fraction <= 1.0:
+            raise ValueError("init_fraction must be in (0, 1]")
+        if self.min_init < 1:
+            raise ValueError("min_init must be >= 1")
+        if self.refit_every < 1:
+            raise ValueError("refit_every must be >= 1")

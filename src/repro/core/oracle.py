@@ -1,0 +1,135 @@
+"""Evaluation oracles: how tuners obtain golden QoR values.
+
+All tuners in this repository are *pool-based*, like the paper's
+experiments: candidates are the rows of an offline benchmark table, and
+"running the PD tool" on candidate ``i`` reveals its golden QoR vector.
+:class:`PoolOracle` serves precomputed tables (the offline benchmarks);
+:class:`FlowOracle` invokes the live simulated tool, for use outside the
+benchmark protocol (e.g. the examples).
+
+Every oracle counts evaluations — the paper's cost metric ("Runs").
+Re-evaluating an index is served from cache and not recounted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pdtool.flow import PDFlow
+from ..pdtool.params import ToolParameters
+from ..space.space import Configuration
+
+
+class PoolOracle:
+    """Oracle over a precomputed objective table.
+
+    Attributes:
+        Y: ``(n, m)`` golden objective matrix (minimization).
+    """
+
+    def __init__(self, Y: np.ndarray) -> None:
+        """Wrap the golden table ``Y``."""
+        self.Y = np.atleast_2d(np.asarray(Y, dtype=float))
+        if self.Y.size == 0:
+            raise ValueError("empty objective table")
+        self._evaluated: set[int] = set()
+
+    @property
+    def n_candidates(self) -> int:
+        """Pool size."""
+        return self.Y.shape[0]
+
+    @property
+    def n_objectives(self) -> int:
+        """Number of QoR metrics."""
+        return self.Y.shape[1]
+
+    @property
+    def n_evaluations(self) -> int:
+        """Distinct tool runs so far (the paper's 'Runs')."""
+        return len(self._evaluated)
+
+    def evaluate(self, index: int) -> np.ndarray:
+        """Golden QoR vector of pool candidate ``index``.
+
+        Raises:
+            IndexError: If ``index`` is out of range.
+        """
+        if not 0 <= index < self.n_candidates:
+            raise IndexError(f"candidate {index} out of range")
+        self._evaluated.add(int(index))
+        return self.Y[index].copy()
+
+    def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate`."""
+        return np.vstack([self.evaluate(int(i)) for i in indices])
+
+    def reset(self) -> None:
+        """Forget the evaluation count (fresh tuning run)."""
+        self._evaluated.clear()
+
+
+class FlowOracle:
+    """Oracle that invokes the simulated PD flow on demand.
+
+    Attributes:
+        flow: The tool instance.
+        configs: Pool of tool configurations, by index.
+        objective_names: QoR metrics to extract from each report.
+    """
+
+    def __init__(
+        self,
+        flow: PDFlow,
+        configs: list[ToolParameters] | list[Configuration],
+        objective_names: tuple[str, ...] = ("power", "delay"),
+    ) -> None:
+        """Create the oracle.
+
+        Args:
+            flow: Simulated PD tool.
+            configs: Candidate configurations (``ToolParameters`` or
+                plain dicts of tool-parameter fields).
+            objective_names: Report fields to minimize.
+        """
+        if not configs:
+            raise ValueError("empty configuration pool")
+        self.flow = flow
+        self.configs = [
+            c if isinstance(c, ToolParameters)
+            else ToolParameters.from_dict(dict(c))
+            for c in configs
+        ]
+        self.objective_names = tuple(objective_names)
+        self._cache: dict[int, np.ndarray] = {}
+
+    @property
+    def n_candidates(self) -> int:
+        """Pool size."""
+        return len(self.configs)
+
+    @property
+    def n_objectives(self) -> int:
+        """Number of QoR metrics."""
+        return len(self.objective_names)
+
+    @property
+    def n_evaluations(self) -> int:
+        """Distinct tool runs so far."""
+        return len(self._cache)
+
+    def evaluate(self, index: int) -> np.ndarray:
+        """Run the flow for candidate ``index`` (cached)."""
+        if not 0 <= index < self.n_candidates:
+            raise IndexError(f"candidate {index} out of range")
+        index = int(index)
+        if index not in self._cache:
+            report = self.flow.run(self.configs[index])
+            self._cache[index] = np.array(
+                report.objectives(self.objective_names)
+            )
+        return self._cache[index].copy()
+
+    def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate`."""
+        return np.vstack([self.evaluate(int(i)) for i in indices])

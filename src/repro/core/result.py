@@ -1,0 +1,68 @@
+"""Tuning results shared by PPATuner and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class IterationRecord:
+    """One iteration's bookkeeping (feeds the Figure 2 visualizations).
+
+    Attributes:
+        iteration: 0-based iteration number.
+        n_undecided: Undecided candidates after decision-making.
+        n_pareto: Candidates classified Pareto-optimal so far.
+        n_dropped: Candidates dropped so far.
+        n_evaluations: Cumulative tool runs.
+        max_diameter: Largest uncertainty-region diameter among live
+            candidates (NaN if none are bounded yet).
+        selected: Candidate indices evaluated this iteration.
+    """
+
+    iteration: int
+    n_undecided: int
+    n_pareto: int
+    n_dropped: int
+    n_evaluations: int
+    max_diameter: float
+    selected: list[int] = field(default_factory=list)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run.
+
+    Attributes:
+        pareto_indices: Pool indices predicted Pareto-optimal.
+        pareto_points: Golden objective vectors of those indices
+            (``(k, m)``) — evaluated through the tool for the final
+            verification pass, as the paper does.
+        n_evaluations: Total tool runs consumed (the paper's 'Runs').
+        n_iterations: Loop iterations executed.
+        history: Per-iteration records (empty for baselines that do not
+            track it).
+        evaluated_indices: Every pool index the tuner evaluated.
+        stop_reason: Why the loop ended (``"all_decided"``,
+            ``"max_iterations"`` or ``"pool_exhausted"``).
+    """
+
+    pareto_indices: np.ndarray
+    pareto_points: np.ndarray
+    n_evaluations: int
+    n_iterations: int
+    history: list[IterationRecord] = field(default_factory=list)
+    evaluated_indices: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=int)
+    )
+    stop_reason: str = ""
+
+    def __post_init__(self) -> None:
+        self.pareto_indices = np.asarray(self.pareto_indices, dtype=int)
+        self.pareto_points = np.atleast_2d(
+            np.asarray(self.pareto_points, dtype=float)
+        )
+        if len(self.pareto_indices) != len(self.pareto_points):
+            raise ValueError("pareto indices/points misaligned")

@@ -1,0 +1,42 @@
+"""Selection rule (paper Eq. (13)).
+
+The next configuration sent to the PD tool is the live (undecided or
+predicted-Pareto), not-yet-evaluated candidate whose uncertainty region has
+the longest diameter — sampling where a single tool run shrinks belief the
+most.  Batch mode takes the top-k diameters (the paper's parallel-license
+trials).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .uncertainty import UncertaintyRegions
+
+
+def select_next(
+    regions: UncertaintyRegions,
+    eligible: np.ndarray,
+    batch_size: int = 1,
+) -> np.ndarray:
+    """Pick the next configurations to evaluate.
+
+    Args:
+        regions: Current uncertainty boxes.
+        eligible: Mask of candidates that may be selected (live and
+            unsampled).
+        batch_size: How many to select.
+
+    Returns:
+        Up to ``batch_size`` candidate indices, longest diameter first
+        (empty if nothing is eligible).
+    """
+    eligible = np.asarray(eligible, dtype=bool)
+    ids = np.nonzero(eligible)[0]
+    if len(ids) == 0 or batch_size < 1:
+        return np.empty(0, dtype=int)
+    diam = regions.diameters()[ids]
+    # Unbounded (never-predicted) regions have infinite diameter and are
+    # naturally prioritized.
+    order = np.argsort(-diam, kind="stable")
+    return ids[order[:batch_size]]

@@ -1,0 +1,55 @@
+"""Experiment harness: scenario runners, figures, paper-style reports."""
+
+from .convergence import (
+    ConvergenceCurve,
+    convergence_curve,
+    format_convergence_table,
+)
+from .figures import (
+    Figure2Data,
+    figure2_uncertainty_shrinkage,
+    figure3_frontiers,
+)
+from .reporting import (
+    export_scenario_csv,
+    export_scenario_json,
+    format_benchmark_table,
+    format_scenario_table,
+    scenario_to_records,
+)
+from .sensitivity import SensitivityReport, analyze_sensitivity
+from .scenarios import (
+    PAPER_BUDGET_FRACTIONS,
+    PAPER_METHODS,
+    MethodOutcome,
+    ScenarioResult,
+    evaluate_outcome,
+    make_method,
+    run_scenario,
+    scenario_one,
+    scenario_two,
+)
+
+__all__ = [
+    "ConvergenceCurve",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "convergence_curve",
+    "format_convergence_table",
+    "PAPER_BUDGET_FRACTIONS",
+    "PAPER_METHODS",
+    "Figure2Data",
+    "MethodOutcome",
+    "ScenarioResult",
+    "evaluate_outcome",
+    "export_scenario_csv",
+    "export_scenario_json",
+    "figure2_uncertainty_shrinkage",
+    "figure3_frontiers",
+    "format_benchmark_table",
+    "format_scenario_table",
+    "make_method",
+    "run_scenario",
+    "scenario_one",
+    "scenario_two",
+]

@@ -1,0 +1,131 @@
+"""Paper-style table formatting and export."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..bench.dataset import OBJECTIVE_SPACES
+from .scenarios import PAPER_METHODS, ScenarioResult
+
+#: Display names of the objective-space rows, paper spelling.
+_SPACE_LABELS = {
+    "area-delay": "Area-Delay",
+    "power-delay": "Power-Delay",
+    "area-power-delay": "Area-Power-Delay",
+}
+
+
+def format_scenario_table(
+    result: ScenarioResult,
+    methods: tuple[str, ...] = PAPER_METHODS,
+) -> str:
+    """Render a scenario as the paper's Table 2/3 layout.
+
+    Rows: the three objective spaces, then Average and Ratio (each
+    method's average normalized by PPATuner's — the paper's bottom row).
+    """
+    spaces = [s for s in OBJECTIVE_SPACES if any(
+        o.objective_space == s for o in result.outcomes
+    )]
+    present = [m for m in methods if any(
+        o.method == m for o in result.outcomes
+    )]
+
+    header1 = f"{'Multi-objective':<18}"
+    header2 = f"{'':<18}"
+    for m in present:
+        header1 += f"| {m:^26} "
+        header2 += f"| {'HV':>7} {'ADRS':>7} {'Runs':>9} "
+    lines = [header1, header2, "-" * len(header2)]
+
+    for s in spaces:
+        row = f"{_SPACE_LABELS.get(s, s):<18}"
+        for m in present:
+            o = result.get(m, s)
+            row += f"| {o.hv_error:7.3f} {o.adrs:7.3f} {o.runs:9d} "
+        lines.append(row)
+
+    avgs = result.averages()
+    row = f"{'Average':<18}"
+    for m in present:
+        hv, ad, runs = avgs[m]
+        row += f"| {hv:7.3f} {ad:7.3f} {runs:9.1f} "
+    lines.append(row)
+
+    if "PPATuner" in avgs:
+        base = avgs["PPATuner"]
+        row = f"{'Ratio':<18}"
+        for m in present:
+            hv, ad, runs = avgs[m]
+            row += (
+                f"| {_ratio(hv, base[0]):7.3f} "
+                f"{_ratio(ad, base[1]):7.3f} "
+                f"{_ratio(runs, base[2]):9.3f} "
+            )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _ratio(value: float, base: float) -> float:
+    return value / base if base else float("inf")
+
+
+def scenario_to_records(result: ScenarioResult) -> list[dict[str, object]]:
+    """Flat records (one per table cell) for CSV/JSON export."""
+    return [
+        {
+            "scenario": result.name,
+            "source": result.source,
+            "target": result.target,
+            "pool_size": result.pool_size,
+            "method": o.method,
+            "objective_space": o.objective_space,
+            "hv_error": o.hv_error,
+            "adrs": o.adrs,
+            "runs": o.runs,
+            "n_pareto_found": len(o.result.pareto_indices)
+            if o.result is not None else None,
+        }
+        for o in result.outcomes
+    ]
+
+
+def export_scenario_json(result: ScenarioResult, path: str | Path) -> None:
+    """Write the scenario records to a JSON file."""
+    Path(path).write_text(
+        json.dumps(scenario_to_records(result), indent=2)
+    )
+
+
+def export_scenario_csv(result: ScenarioResult, path: str | Path) -> None:
+    """Write the scenario records to a CSV file."""
+    records = scenario_to_records(result)
+    if not records:
+        Path(path).write_text("")
+        return
+    cols = list(records[0])
+    lines = [",".join(cols)]
+    for r in records:
+        lines.append(",".join(str(r[c]) for c in cols))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def format_benchmark_table(summaries: list[dict[str, object]]) -> str:
+    """Render the Table 1-style benchmark statistics."""
+    lines = [
+        f"{'Benchmark':<10} {'Points':>7} {'Params':>7} {'Design':>7} "
+        f"{'Area range':>22} {'Power range':>18} {'Delay range':>16}",
+    ]
+    for s in summaries:
+        a = s["area_range"]
+        p = s["power_range"]
+        d = s["delay_range"]
+        lines.append(
+            f"{s['name']:<10} {s['n_points']:>7} {s['n_parameters']:>7} "
+            f"{s['design']:>7} "
+            f"{a[0]:>10.1f}-{a[1]:<11.1f} "
+            f"{p[0]:>8.3f}-{p[1]:<9.3f} "
+            f"{d[0]:>7.3f}-{d[1]:<8.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""Scenario runners reproducing the paper's Tables 2 and 3.
+
+Scenario One (same design): Source1 -> Target1, the designer re-tunes a
+different parameter subspace of the same MAC.  Scenario Two (similar
+designs): Source2 -> Target2, knowledge moves from the small MAC to the
+larger one.  Each scenario sweeps the paper's three objective spaces and
+five methods, reporting hyper-volume error, ADRS and tool runs.
+
+Method budgets default to the paper's run counts expressed as fractions
+of the pool (so reduced-scale runs keep the paper's relative budgets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import (
+    Aspdac20Fist,
+    Dac19Recommender,
+    Mlcad19LcbBayesOpt,
+    RandomSearchTuner,
+    Tcad19ActiveLearner,
+)
+from ..bench.dataset import OBJECTIVE_SPACES, BenchmarkDataset
+from ..bench.generate import generate_benchmark
+from ..core import PPATuner, PPATunerConfig, PoolOracle
+from ..core.result import TuningResult
+from ..pareto.dominance import pareto_front
+from ..pareto.hypervolume import hypervolume_error
+from ..pareto.metrics import adrs
+
+#: Paper "Runs" per method, normalized by the pool size of each target
+#: benchmark (Tables 2-3: Target1 pool 5000, Target2 pool 727).
+PAPER_BUDGET_FRACTIONS: dict[str, dict[str, float]] = {
+    "TCAD'19": {"target1": 508 / 5000, "target2": 92 / 727},
+    "MLCAD'19": {"target1": 400 / 5000, "target2": 70 / 727},
+    "DAC'19": {"target1": 600 / 5000, "target2": 131 / 727},
+    "ASPDAC'20": {"target1": 400 / 5000, "target2": 70 / 727},
+    "Random": {"target1": 400 / 5000, "target2": 70 / 727},
+}
+
+#: Methods appearing in the paper's tables, in column order.
+PAPER_METHODS = ("TCAD'19", "MLCAD'19", "DAC'19", "ASPDAC'20", "PPATuner")
+
+
+@dataclass
+class MethodOutcome:
+    """One (method, objective-space) cell triple of Tables 2-3.
+
+    Attributes:
+        method: Method name.
+        objective_space: e.g. ``"power-delay"``.
+        hv_error: Hyper-volume error vs. the golden front (Eq. (2)).
+        adrs: Average distance from reference set (Eq. (3)).
+        runs: Tool runs consumed.
+        result: The raw tuning result (frontier points for Figure 3).
+    """
+
+    method: str
+    objective_space: str
+    hv_error: float
+    adrs: float
+    runs: int
+    result: TuningResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass
+class ScenarioResult:
+    """All outcomes of one scenario (one paper table).
+
+    Attributes:
+        name: ``"scenario_one"`` or ``"scenario_two"``.
+        source: Source benchmark name.
+        target: Target benchmark name.
+        outcomes: Flat list of method/objective outcomes.
+        pool_size: Target pool size used.
+    """
+
+    name: str
+    source: str
+    target: str
+    outcomes: list[MethodOutcome]
+    pool_size: int
+
+    def get(self, method: str, objective_space: str) -> MethodOutcome:
+        """Look up one cell.
+
+        Raises:
+            KeyError: If absent.
+        """
+        for o in self.outcomes:
+            if o.method == method and o.objective_space == objective_space:
+                return o
+        raise KeyError((method, objective_space))
+
+    def averages(self) -> dict[str, tuple[float, float, float]]:
+        """Per-method (mean HV error, mean ADRS, mean runs) — the tables'
+        "Average" row."""
+        out: dict[str, tuple[float, float, float]] = {}
+        methods = {o.method for o in self.outcomes}
+        for m in methods:
+            rows = [o for o in self.outcomes if o.method == m]
+            out[m] = (
+                float(np.mean([r.hv_error for r in rows])),
+                float(np.mean([r.adrs for r in rows])),
+                float(np.mean([r.runs for r in rows])),
+            )
+        return out
+
+
+def make_method(
+    name: str,
+    budget: int,
+    pool_size: int,
+    seed: int,
+    ppa_config: PPATunerConfig | None = None,
+):
+    """Construct a tuner by its paper name.
+
+    Args:
+        name: One of :data:`PAPER_METHODS` or ``"Random"``.
+        budget: Tool-run budget for fixed-budget methods.
+        pool_size: Target pool size (bounds PPATuner's iteration cap).
+        seed: RNG seed.
+        ppa_config: Optional explicit PPATuner configuration.
+
+    Raises:
+        ValueError: For an unknown method name.
+    """
+    if name == "TCAD'19":
+        return Tcad19ActiveLearner(budget=budget, seed=seed)
+    if name == "MLCAD'19":
+        return Mlcad19LcbBayesOpt(budget=budget, seed=seed)
+    if name == "DAC'19":
+        return Dac19Recommender(budget=budget, seed=seed)
+    if name == "ASPDAC'20":
+        return Aspdac20Fist(budget=budget, seed=seed)
+    if name == "Random":
+        return RandomSearchTuner(budget=budget, seed=seed)
+    if name == "PPATuner":
+        config = ppa_config or PPATunerConfig(
+            max_iterations=max(10, int(round(0.07 * pool_size))),
+            init_fraction=0.02,
+            seed=seed,
+        )
+        return PPATuner(config)
+    raise ValueError(f"unknown method {name!r}")
+
+
+def evaluate_outcome(
+    method: str,
+    objective_space: str,
+    result: TuningResult,
+    dataset: BenchmarkDataset,
+    names: tuple[str, ...],
+) -> MethodOutcome:
+    """Score one tuning result against the golden front."""
+    golden = dataset.golden_front(names)
+    # Shared reference point: padded worst corner of the full pool, so
+    # every method is scored against the same volume.
+    Y_all = dataset.objectives(names)
+    worst = Y_all.max(axis=0)
+    best = Y_all.min(axis=0)
+    reference = worst + 0.1 * np.maximum(worst - best, 1e-12)
+    approx = pareto_front(result.pareto_points)
+    return MethodOutcome(
+        method=method,
+        objective_space=objective_space,
+        hv_error=float(
+            hypervolume_error(approx, golden, reference)
+        ),
+        adrs=float(adrs(golden, approx)),
+        runs=int(result.n_evaluations),
+        result=result,
+    )
+
+
+def run_scenario(
+    source: BenchmarkDataset,
+    target: BenchmarkDataset,
+    name: str,
+    budget_key: str,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    objective_spaces: dict[str, tuple[str, ...]] | None = None,
+    n_source: int = 200,
+    seed: int = 0,
+    ppa_config: PPATunerConfig | None = None,
+) -> ScenarioResult:
+    """Run every (method, objective-space) combination of one scenario.
+
+    Args:
+        source: Source benchmark (``D^S``).
+        target: Target benchmark pool.
+        name: Scenario label.
+        budget_key: ``"target1"`` or ``"target2"`` — selects the paper
+            budget fractions.
+        methods: Methods to run.
+        objective_spaces: Objective subsets; defaults to the paper's
+            three.
+        n_source: Source points made available to transfer methods (the
+            paper uses 200).
+        seed: Base seed (methods get distinct derived seeds).
+        ppa_config: Optional PPATuner configuration override.
+
+    Returns:
+        A :class:`ScenarioResult`.
+    """
+    spaces = objective_spaces or OBJECTIVE_SPACES
+    rng = np.random.default_rng(seed)
+    src_idx = rng.choice(
+        source.n, size=min(n_source, source.n), replace=False
+    )
+    outcomes: list[MethodOutcome] = []
+    for space_name, names in spaces.items():
+        Y_target = target.objectives(names)
+        X_source = source.X[src_idx]
+        Y_source = source.objectives(names)[src_idx]
+        # Shared initial design per objective space so methods start from
+        # the same information.
+        n_init = max(5, int(round(0.02 * target.n)))
+        init = rng.choice(target.n, size=n_init, replace=False)
+        for i, method in enumerate(methods):
+            budget_frac = PAPER_BUDGET_FRACTIONS.get(method, {}).get(
+                budget_key, 0.08
+            )
+            budget = max(n_init + 5, int(round(budget_frac * target.n)))
+            tuner = make_method(
+                method, budget, target.n, seed + 97 * i,
+                ppa_config=ppa_config,
+            )
+            oracle = PoolOracle(Y_target)
+            result = tuner.tune(
+                target.X, oracle,
+                X_source=X_source, Y_source=Y_source,
+                init_indices=init.copy(),
+            )
+            outcomes.append(evaluate_outcome(
+                method, space_name, result, target, names
+            ))
+    return ScenarioResult(
+        name=name,
+        source=source.name,
+        target=target.name,
+        outcomes=outcomes,
+        pool_size=target.n,
+    )
+
+
+def scenario_one(
+    scale: int | None = None,
+    seed: int = 0,
+    methods: tuple[str, ...] = PAPER_METHODS,
+) -> ScenarioResult:
+    """Paper Table 2: Source1 -> Target1 (same design).
+
+    Args:
+        scale: Optional target-pool subsample size for fast runs (None =
+            the paper's 5000 points).
+        seed: Base seed.
+        methods: Methods to run.
+    """
+    source = generate_benchmark("source1")
+    target = generate_benchmark("target1")
+    if scale is not None:
+        target = target.subsample(scale, seed=seed)
+    return run_scenario(
+        source, target, "scenario_one", "target1",
+        methods=methods, seed=seed,
+    )
+
+
+def scenario_two(
+    scale: int | None = None,
+    seed: int = 0,
+    methods: tuple[str, ...] = PAPER_METHODS,
+) -> ScenarioResult:
+    """Paper Table 3: Source2 -> Target2 (similar designs).
+
+    Args:
+        scale: Optional target-pool subsample size (None = 727 points).
+        seed: Base seed.
+        methods: Methods to run.
+    """
+    source = generate_benchmark("source2")
+    target = generate_benchmark("target2")
+    if scale is not None:
+        target = target.subsample(scale, seed=seed)
+    return run_scenario(
+        source, target, "scenario_two", "target2",
+        methods=methods, seed=seed,
+    )

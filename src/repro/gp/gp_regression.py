@@ -1,0 +1,176 @@
+"""Standard (single-task) Gaussian-process regression.
+
+Implements paper Eq. (1): posterior mean and variance under a Gaussian
+noise model, with hyperparameters fitted by maximizing the log marginal
+likelihood.  Targets are standardized internally, inputs are expected
+pre-normalized (the tuners normalize to the unit cube).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import Kernel, RBFKernel
+from .likelihood import gaussian_log_marginal, maximize_objective
+from .linalg import cholesky_solve, robust_cholesky
+
+#: Log-space bounds for the observation-noise variance.
+_NOISE_BOUNDS = (-12.0, 2.0)
+
+
+class GPRegressor:
+    """Exact GP regression with marginal-likelihood hyperparameter fit.
+
+    Example:
+        >>> X = np.random.rand(20, 3); y = X.sum(axis=1)
+        >>> gp = GPRegressor(RBFKernel(np.ones(3))).fit(X, y)
+        >>> mean, var = gp.predict(X[:5])
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        noise_variance: float = 1e-2,
+        optimize: bool = True,
+        n_restarts: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        """Create the regressor.
+
+        Args:
+            kernel: Covariance kernel; defaults to an ARD RBF sized at
+                fit time.
+            noise_variance: Initial observation-noise variance (in the
+                standardized-target scale).
+            optimize: Whether :meth:`fit` tunes hyperparameters.
+            n_restarts: Optimizer restarts.
+            seed: Seed for the restarts.
+        """
+        if noise_variance <= 0:
+            raise ValueError("noise_variance must be positive")
+        self.kernel = kernel
+        self._log_noise = float(np.log(noise_variance))
+        self.optimize = optimize
+        self.n_restarts = n_restarts
+        self.seed = seed
+        self._X: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._L: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def noise_variance(self) -> float:
+        """Observation-noise variance (standardized scale)."""
+        return float(np.exp(self._log_noise))
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._alpha is not None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GPRegressor":
+        """Fit hyperparameters (optionally) and the posterior state.
+
+        Args:
+            X: ``(n, d)`` inputs.
+            y: Length-``n`` targets.
+
+        Returns:
+            ``self``.
+
+        Raises:
+            ValueError: On shape mismatch or empty data.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y) or len(y) == 0:
+            raise ValueError("X and y must be non-empty and aligned")
+        if self.kernel is None:
+            self.kernel = RBFKernel(np.full(X.shape[1], 0.3))
+
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        z = (y - self._y_mean) / self._y_std
+
+        if self.optimize and len(X) >= 3:
+            self._optimize_hyperparameters(X, z)
+
+        K = self.kernel.eval(X) + self.noise_variance * np.eye(len(X))
+        self._L, _ = robust_cholesky(K)
+        self._alpha = cholesky_solve(self._L, z)
+        self._X = X
+        return self
+
+    def _optimize_hyperparameters(self, X: np.ndarray, z: np.ndarray) -> None:
+        kernel = self.kernel
+        assert kernel is not None
+        n = len(X)
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            kernel.theta = theta[:-1]
+            noise = float(np.exp(theta[-1]))
+            K, grads = kernel.eval_with_grads(X)
+            K = K + noise * np.eye(n)
+            grads = grads + [noise * np.eye(n)]  # d/dlog noise
+            lml, g, _ = gaussian_log_marginal(K, z, grads)
+            assert g is not None
+            return -lml, -g
+
+        theta0 = np.append(kernel.theta, self._log_noise)
+        bounds = kernel.bounds() + [_NOISE_BOUNDS]
+        best = maximize_objective(
+            objective, theta0, bounds,
+            n_restarts=self.n_restarts, seed=self.seed,
+        )
+        kernel.theta = best[:-1]
+        self._log_noise = float(best[-1])
+
+    def predict(
+        self, X_new: np.ndarray, include_noise: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance at ``X_new`` (paper Eq. (1)).
+
+        Args:
+            X_new: ``(m, d)`` query inputs.
+            include_noise: Add the observation-noise variance to the
+                predictive variance.
+
+        Returns:
+            ``(mean, variance)`` arrays of length ``m`` in the original
+            target scale.
+
+        Raises:
+            RuntimeError: If called before :meth:`fit`.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predict() before fit()")
+        assert self._X is not None and self.kernel is not None
+        assert self._L is not None and self._alpha is not None
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        K_star = self.kernel.eval(X_new, self._X)
+        mean_z = K_star @ self._alpha
+        v = np.linalg.solve(self._L, K_star.T)
+        var_z = self.kernel.diag(X_new) - np.sum(v * v, axis=0)
+        var_z = np.maximum(var_z, 1e-12)
+        if include_noise:
+            var_z = var_z + self.noise_variance
+        mean = mean_z * self._y_std + self._y_mean
+        var = var_z * self._y_std**2
+        return mean, var
+
+    def log_marginal_likelihood(self) -> float:
+        """LML of the fitted model on its training data."""
+        if not self.is_fitted:
+            raise RuntimeError("log_marginal_likelihood() before fit()")
+        assert self._L is not None and self._alpha is not None
+        z_alpha = self._alpha
+        L = self._L
+        n = len(z_alpha)
+        # Recover z from alpha: z = K alpha = L L^T alpha.
+        z = L @ (L.T @ z_alpha)
+        return float(
+            -0.5 * z @ z_alpha
+            - np.sum(np.log(np.diag(L)))
+            - 0.5 * n * np.log(2 * np.pi)
+        )

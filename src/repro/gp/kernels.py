@@ -1,0 +1,215 @@
+"""Stationary covariance kernels with ARD lengthscales and analytic
+hyperparameter gradients.
+
+Hyperparameters live in log space (positivity for free, better-conditioned
+optimization).  Every kernel exposes:
+
+- ``theta`` — the log-hyperparameter vector (settable);
+- ``eval(X1, X2)`` — cross-covariance matrix;
+- ``eval_with_grads(X)`` — symmetric covariance plus ``dK/dtheta_i`` for
+  each hyperparameter, used by marginal-likelihood training.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+#: Default log-space box constraints for lengthscales and variances.
+_LOG_BOUNDS = (-6.0, 6.0)
+
+
+def _sq_dists_per_dim(X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+    """Per-dimension squared differences, shape ``(n1, n2, d)``."""
+    diff = X1[:, None, :] - X2[None, :, :]
+    return diff * diff
+
+
+class Kernel(ABC):
+    """Abstract stationary kernel over R^d."""
+
+    @property
+    @abstractmethod
+    def theta(self) -> np.ndarray:
+        """Log-space hyperparameter vector (copy)."""
+
+    @theta.setter
+    @abstractmethod
+    def theta(self, value: np.ndarray) -> None:
+        """Set the log-space hyperparameters."""
+
+    @property
+    def n_params(self) -> int:
+        """Number of hyperparameters."""
+        return len(self.theta)
+
+    @abstractmethod
+    def bounds(self) -> list[tuple[float, float]]:
+        """Per-hyperparameter log-space optimization bounds."""
+
+    @abstractmethod
+    def eval(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        """Covariance matrix between ``X1`` and ``X2`` (or ``X1`` itself)."""
+
+    @abstractmethod
+    def eval_with_grads(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Symmetric covariance of ``X`` and per-hyperparameter gradients."""
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Diagonal of ``eval(X, X)`` without forming the matrix."""
+        return np.full(len(X), float(self.variance))
+
+    @property
+    @abstractmethod
+    def variance(self) -> float:
+        """Signal variance (the kernel's value at zero distance)."""
+
+    def clone(self) -> "Kernel":
+        """Deep copy (same class and hyperparameters)."""
+        new = self.__class__.__new__(self.__class__)
+        new.__dict__.update(
+            {k: np.copy(v) if isinstance(v, np.ndarray) else v
+             for k, v in self.__dict__.items()}
+        )
+        return new
+
+
+class _ArdKernel(Kernel):
+    """Shared machinery for ARD kernels: theta = [log ls_1..d, log var]."""
+
+    def __init__(
+        self, lengthscales: np.ndarray | list[float], variance: float = 1.0
+    ) -> None:
+        """Create the kernel.
+
+        Args:
+            lengthscales: Per-dimension positive lengthscales.
+            variance: Positive signal variance.
+        """
+        ls = np.asarray(lengthscales, dtype=float).ravel()
+        if np.any(ls <= 0) or variance <= 0:
+            raise ValueError("lengthscales and variance must be positive")
+        self._log_ls = np.log(ls)
+        self._log_var = float(np.log(variance))
+
+    @property
+    def lengthscales(self) -> np.ndarray:
+        """Per-dimension lengthscales (natural space)."""
+        return np.exp(self._log_ls)
+
+    @property
+    def variance(self) -> float:
+        return float(np.exp(self._log_var))
+
+    @property
+    def dim(self) -> int:
+        """Input dimensionality."""
+        return len(self._log_ls)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.append(self._log_ls, self._log_var)
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float).ravel()
+        if len(value) != len(self._log_ls) + 1:
+            raise ValueError(
+                f"expected {len(self._log_ls) + 1} params, got {len(value)}"
+            )
+        self._log_ls = value[:-1].copy()
+        self._log_var = float(value[-1])
+
+    def bounds(self) -> list[tuple[float, float]]:
+        return [_LOG_BOUNDS] * (self.dim + 1)
+
+    def _scaled_sq_dists(
+        self, X1: np.ndarray, X2: np.ndarray
+    ) -> np.ndarray:
+        ls = self.lengthscales
+        return _sq_dists_per_dim(X1 / ls, X2 / ls)
+
+
+class RBFKernel(_ArdKernel):
+    """Squared-exponential kernel with ARD lengthscales.
+
+    ``k(x, x') = variance * exp(-0.5 * sum_j ((x_j - x'_j) / ls_j)^2)``
+    """
+
+    def eval(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        X1 = np.atleast_2d(X1)
+        X2 = X1 if X2 is None else np.atleast_2d(X2)
+        sq = self._scaled_sq_dists(X1, X2).sum(axis=2)
+        return self.variance * np.exp(-0.5 * sq)
+
+    def eval_with_grads(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        X = np.atleast_2d(X)
+        sq_dims = self._scaled_sq_dists(X, X)
+        K = self.variance * np.exp(-0.5 * sq_dims.sum(axis=2))
+        grads: list[np.ndarray] = [
+            K * sq_dims[:, :, j] for j in range(self.dim)
+        ]
+        grads.append(K.copy())  # d/dlog var
+        return K, grads
+
+
+class Matern52Kernel(_ArdKernel):
+    """Matérn-5/2 kernel with ARD lengthscales.
+
+    ``k = variance * (1 + sqrt(5) r + 5/3 r^2) * exp(-sqrt(5) r)`` where
+    ``r`` is the ARD-scaled Euclidean distance.
+    """
+
+    def eval(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        X1 = np.atleast_2d(X1)
+        X2 = X1 if X2 is None else np.atleast_2d(X2)
+        r2 = self._scaled_sq_dists(X1, X2).sum(axis=2)
+        r = np.sqrt(np.maximum(r2, 0.0))
+        s5r = np.sqrt(5.0) * r
+        return self.variance * (1.0 + s5r + 5.0 / 3.0 * r2) * np.exp(-s5r)
+
+    def eval_with_grads(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        X = np.atleast_2d(X)
+        sq_dims = self._scaled_sq_dists(X, X)
+        r2 = sq_dims.sum(axis=2)
+        r = np.sqrt(np.maximum(r2, 0.0))
+        s5r = np.sqrt(5.0) * r
+        expo = np.exp(-s5r)
+        K = self.variance * (1.0 + s5r + 5.0 / 3.0 * r2) * expo
+        # dk/d(r^2) = -(5/6) * variance * (1 + sqrt(5) r) * exp(-sqrt5 r)
+        dk_dr2 = -(5.0 / 6.0) * self.variance * (1.0 + s5r) * expo
+        grads: list[np.ndarray] = []
+        for j in range(self.dim):
+            # d(r^2)/d(log ls_j) = -2 * scaled_sq_dist_j
+            grads.append(dk_dr2 * (-2.0 * sq_dims[:, :, j]))
+        grads.append(K.copy())  # d/dlog var
+        return K, grads
+
+
+def make_kernel(
+    name: str, dim: int, lengthscale: float = 1.0, variance: float = 1.0
+) -> Kernel:
+    """Kernel factory by name (``"rbf"`` or ``"matern52"``).
+
+    Args:
+        name: Kernel family.
+        dim: Input dimensionality (one ARD lengthscale per dim).
+        lengthscale: Initial lengthscale for every dimension.
+        variance: Initial signal variance.
+
+    Raises:
+        ValueError: For an unknown kernel name.
+    """
+    families = {"rbf": RBFKernel, "matern52": Matern52Kernel}
+    if name not in families:
+        raise ValueError(
+            f"unknown kernel {name!r}; choose from {sorted(families)}"
+        )
+    return families[name](np.full(dim, lengthscale), variance)

@@ -1,0 +1,111 @@
+"""Marginal-likelihood evaluation and hyperparameter optimization."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .linalg import (
+    cholesky_solve,
+    log_det_from_cholesky,
+    robust_cholesky,
+)
+
+#: Objective = callable(theta) -> (negative log marginal likelihood, grad).
+Objective = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+
+def gaussian_log_marginal(
+    K: np.ndarray,
+    y: np.ndarray,
+    K_grads: list[np.ndarray] | None = None,
+) -> tuple[float, np.ndarray | None, np.ndarray]:
+    """Log marginal likelihood of ``y ~ N(0, K)`` and optional gradients.
+
+    Args:
+        K: Covariance (including noise on the diagonal).
+        y: Observations (zero-mean).
+        K_grads: Optional ``dK/dtheta_i`` matrices.
+
+    Returns:
+        ``(lml, grads_or_None, alpha)`` where ``alpha = K^-1 y``.  The
+        gradient of the LML w.r.t. each hyperparameter is
+        ``0.5 * tr((alpha alpha^T - K^-1) dK/dtheta)``.
+    """
+    L, _ = robust_cholesky(K)
+    alpha = cholesky_solve(L, y)
+    lml = float(
+        -0.5 * y @ alpha
+        - 0.5 * log_det_from_cholesky(L)
+        - 0.5 * len(y) * np.log(2.0 * np.pi)
+    )
+    if K_grads is None:
+        return lml, None, alpha
+    K_inv = cholesky_solve(L, np.eye(len(y)))
+    inner = np.outer(alpha, alpha) - K_inv
+    grads = np.array(
+        [0.5 * np.sum(inner * dK) for dK in K_grads]
+    )
+    return lml, grads, alpha
+
+
+def maximize_objective(
+    objective: Objective,
+    theta0: np.ndarray,
+    bounds: list[tuple[float, float]],
+    n_restarts: int = 2,
+    seed: int | None = None,
+    maxiter: int = 120,
+) -> np.ndarray:
+    """L-BFGS-B maximization with random restarts.
+
+    ``objective`` returns the *negative* LML and its gradient, so this is
+    a minimization under the hood.
+
+    Args:
+        objective: Function of the log-hyperparameter vector.
+        theta0: Starting point (first restart starts here).
+        bounds: Box constraints per hyperparameter.
+        n_restarts: Additional uniform-random restarts inside ``bounds``.
+        seed: RNG seed for the restart draws.
+        maxiter: L-BFGS iteration budget per restart.
+
+    Returns:
+        The best hyperparameter vector found (falls back to ``theta0``
+        if every restart fails numerically).
+    """
+    rng = np.random.default_rng(seed)
+    lo = np.array([b[0] for b in bounds])
+    hi = np.array([b[1] for b in bounds])
+    starts = [np.clip(theta0, lo, hi)]
+    # Restarts draw from a moderate sub-box; full-range draws often start
+    # in flat likelihood plateaus.  Pinned parameters (lo == hi, possibly
+    # outside the sub-box) keep their pinned value.
+    draw_lo = np.maximum(lo, -3.0)
+    draw_hi = np.minimum(hi, 3.0)
+    inverted = draw_lo > draw_hi
+    draw_lo[inverted] = lo[inverted]
+    draw_hi[inverted] = hi[inverted]
+    for _ in range(max(n_restarts, 0)):
+        starts.append(rng.uniform(draw_lo, draw_hi))
+
+    best_theta = starts[0]
+    best_value = np.inf
+    for start in starts:
+        try:
+            result = minimize(
+                objective,
+                start,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": maxiter},
+            )
+        except (np.linalg.LinAlgError, FloatingPointError):
+            continue
+        if np.isfinite(result.fun) and result.fun < best_value:
+            best_value = float(result.fun)
+            best_theta = np.asarray(result.x)
+    return best_theta

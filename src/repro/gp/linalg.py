@@ -1,0 +1,89 @@
+"""Numerically robust linear algebra for GP inference."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve, solve_triangular
+
+#: Initial diagonal jitter added when a covariance factorization fails.
+DEFAULT_JITTER = 1e-8
+#: Factor by which jitter grows between attempts.
+_JITTER_GROWTH = 10.0
+#: Maximum factorization attempts before giving up.
+_MAX_TRIES = 8
+
+
+class NotPositiveDefiniteError(np.linalg.LinAlgError):
+    """Covariance matrix could not be factorized even with jitter."""
+
+
+def robust_cholesky(
+    matrix: np.ndarray, jitter: float = DEFAULT_JITTER
+) -> tuple[np.ndarray, float]:
+    """Lower-Cholesky factor of ``matrix`` with adaptive jitter.
+
+    Args:
+        matrix: Symmetric matrix to factorize.
+        jitter: Starting diagonal boost used when the plain factorization
+            fails.
+
+    Returns:
+        ``(L, used_jitter)`` where ``L @ L.T ≈ matrix + used_jitter * I``.
+
+    Raises:
+        NotPositiveDefiniteError: If the matrix stays indefinite after
+            ``_MAX_TRIES`` jitter escalations.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    scale = float(np.mean(np.diag(matrix))) or 1.0
+    try:
+        return np.linalg.cholesky(matrix), 0.0
+    except np.linalg.LinAlgError:
+        pass
+    current = jitter * scale
+    for _ in range(_MAX_TRIES):
+        try:
+            L = np.linalg.cholesky(
+                matrix + current * np.eye(len(matrix))
+            )
+            return L, current
+        except np.linalg.LinAlgError:
+            current *= _JITTER_GROWTH
+    raise NotPositiveDefiniteError(
+        f"matrix not PD after jitter up to {current:.3g}"
+    )
+
+
+def cholesky_solve(L: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``(L @ L.T) x = b`` given the lower factor ``L``."""
+    return cho_solve((L, True), b)
+
+
+def triangular_solve(
+    L: np.ndarray, b: np.ndarray, lower: bool = True
+) -> np.ndarray:
+    """Solve ``L x = b`` for triangular ``L``."""
+    return solve_triangular(L, b, lower=lower)
+
+
+def log_det_from_cholesky(L: np.ndarray) -> float:
+    """``log |A|`` for ``A = L @ L.T``."""
+    return float(2.0 * np.sum(np.log(np.diag(L))))
+
+
+def solve_psd(matrix: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve a PSD system with jitter fallback (convenience wrapper)."""
+    L, _ = robust_cholesky(matrix)
+    return cholesky_solve(L, b)
+
+
+__all__ = [
+    "DEFAULT_JITTER",
+    "NotPositiveDefiniteError",
+    "cho_factor",
+    "cholesky_solve",
+    "log_det_from_cholesky",
+    "robust_cholesky",
+    "solve_psd",
+    "triangular_solve",
+]

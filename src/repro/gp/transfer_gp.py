@@ -1,0 +1,264 @@
+"""Transfer Gaussian process (paper Section 3.1, Eq. (4)-(8)).
+
+One model per QoR metric.  Source-task and target-task observations are
+stacked; the joint prior covariance is the :class:`TransferKernel` and the
+noise is heteroskedastic per task (``beta_s^-1`` on source rows,
+``beta_t^-1`` on target rows — the ``Lambda`` of Eq. (8)).  All
+hyperparameters (base kernel, Gamma transfer parameters, both noises) are
+learned by maximizing the joint log marginal likelihood.
+
+Prediction at a target-task input follows Eq. (8):
+
+    mu(x)      = k(x, X)^T (K~ + Lambda)^-1 y
+    sigma^2(x) = k(x, x) + beta_t^-1 - k(x, X)^T (K~ + Lambda)^-1 k(x, X)
+
+where ``k(x, X)`` itself is the transfer kernel (source columns damped by
+``lambda``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import Kernel, RBFKernel
+from .likelihood import gaussian_log_marginal, maximize_objective
+from .linalg import cholesky_solve, robust_cholesky
+from .transfer_kernel import TransferKernel
+
+#: Log-space bounds for the two task noise variances.
+_NOISE_BOUNDS = (-12.0, 2.0)
+#: Task label of source rows.
+SOURCE_TASK = 0
+#: Task label of target rows.
+TARGET_TASK = 1
+
+
+class TransferGP:
+    """Two-task transfer GP regressor.
+
+    Example:
+        >>> model = TransferGP()
+        >>> model.fit(Xs, ys, Xt, yt)          # doctest: +SKIP
+        >>> mean, var = model.predict(X_new)   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        a: float = 1.0,
+        b: float = 1.0,
+        noise_source: float = 1e-2,
+        noise_target: float = 1e-2,
+        optimize: bool = True,
+        n_restarts: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        """Create the model.
+
+        Args:
+            kernel: Base within-task kernel (ARD RBF by default, sized at
+                fit time).
+            a: Initial Gamma scale of the transfer prior.
+            b: Initial Gamma shape of the transfer prior.
+            noise_source: Initial source-noise variance (``beta_s^-1``).
+            noise_target: Initial target-noise variance (``beta_t^-1``).
+            optimize: Whether :meth:`fit` tunes hyperparameters.
+            n_restarts: Optimizer restarts.
+            seed: Seed for restarts.
+        """
+        if noise_source <= 0 or noise_target <= 0:
+            raise ValueError("noise variances must be positive")
+        self._base_kernel = kernel
+        self._init_a = a
+        self._init_b = b
+        self.transfer_kernel: TransferKernel | None = None
+        self._log_noise_s = float(np.log(noise_source))
+        self._log_noise_t = float(np.log(noise_target))
+        self.optimize = optimize
+        self.n_restarts = n_restarts
+        self.seed = seed
+        self._X: np.ndarray | None = None
+        self._tasks: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._L: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def noise_source(self) -> float:
+        """Source observation-noise variance (standardized scale)."""
+        return float(np.exp(self._log_noise_s))
+
+    @property
+    def noise_target(self) -> float:
+        """Target observation-noise variance (standardized scale)."""
+        return float(np.exp(self._log_noise_t))
+
+    @property
+    def lam(self) -> float:
+        """Learned cross-task correlation factor ``lambda``."""
+        if self.transfer_kernel is None:
+            raise RuntimeError("model not fitted")
+        return self.transfer_kernel.lam
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._alpha is not None
+
+    def fit(
+        self,
+        X_source: np.ndarray,
+        y_source: np.ndarray,
+        X_target: np.ndarray,
+        y_target: np.ndarray,
+    ) -> "TransferGP":
+        """Fit the joint model on stacked source + target data.
+
+        Args:
+            X_source: ``(N, d)`` source inputs (may be empty).
+            y_source: Length-``N`` source targets.
+            X_target: ``(M, d)`` target inputs (``M >= 1``).
+            y_target: Length-``M`` target targets.
+
+        Returns:
+            ``self``.
+
+        Raises:
+            ValueError: On shape mismatch or empty target data.
+        """
+        Xs = np.atleast_2d(np.asarray(X_source, dtype=float))
+        Xt = np.atleast_2d(np.asarray(X_target, dtype=float))
+        ys = np.asarray(y_source, dtype=float).ravel()
+        yt = np.asarray(y_target, dtype=float).ravel()
+        if Xs.size == 0:
+            Xs = np.empty((0, Xt.shape[1]))
+        if len(Xs) != len(ys) or len(Xt) != len(yt):
+            raise ValueError("X/y misaligned")
+        if len(yt) == 0:
+            raise ValueError("need at least one target observation")
+        if Xs.size and Xs.shape[1] != Xt.shape[1]:
+            raise ValueError("source/target dimensionality mismatch")
+
+        X = np.vstack([Xs, Xt])
+        y = np.concatenate([ys, yt])
+        tasks = np.concatenate([
+            np.full(len(ys), SOURCE_TASK, dtype=int),
+            np.full(len(yt), TARGET_TASK, dtype=int),
+        ])
+
+        if self._base_kernel is None:
+            self._base_kernel = RBFKernel(np.full(X.shape[1], 0.3))
+        if self.transfer_kernel is None:
+            self.transfer_kernel = TransferKernel(
+                self._base_kernel, self._init_a, self._init_b
+            )
+
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        z = (y - self._y_mean) / self._y_std
+
+        if self.optimize and len(X) >= 3:
+            self._optimize_hyperparameters(X, tasks, z)
+
+        K = self.transfer_kernel.eval(X, tasks) + self._noise_diag(tasks)
+        self._L, _ = robust_cholesky(K)
+        self._alpha = cholesky_solve(self._L, z)
+        self._X = X
+        self._tasks = tasks
+        return self
+
+    def _noise_diag(self, tasks: np.ndarray) -> np.ndarray:
+        noise = np.where(
+            tasks == SOURCE_TASK, self.noise_source, self.noise_target
+        )
+        return np.diag(noise)
+
+    def _optimize_hyperparameters(
+        self, X: np.ndarray, tasks: np.ndarray, z: np.ndarray
+    ) -> None:
+        tk = self.transfer_kernel
+        assert tk is not None
+        src_diag = np.diag((tasks == SOURCE_TASK).astype(float))
+        tgt_diag = np.diag((tasks == TARGET_TASK).astype(float))
+        has_source = bool((tasks == SOURCE_TASK).any())
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            tk.theta = theta[:-2]
+            noise_s = float(np.exp(theta[-2]))
+            noise_t = float(np.exp(theta[-1]))
+            K, grads = tk.eval_with_grads(X, tasks)
+            K = K + noise_s * src_diag + noise_t * tgt_diag
+            grads = grads + [noise_s * src_diag, noise_t * tgt_diag]
+            lml, g, _ = gaussian_log_marginal(K, z, grads)
+            assert g is not None
+            return -lml, -g
+
+        theta0 = np.concatenate(
+            [tk.theta, [self._log_noise_s, self._log_noise_t]]
+        )
+        bounds = tk.bounds() + [_NOISE_BOUNDS, _NOISE_BOUNDS]
+        if not has_source:
+            # Without source rows the transfer/source-noise parameters are
+            # unidentifiable; pin them to their current values.
+            idx_a = len(tk.bounds()) - 2
+            for i in (idx_a, idx_a + 1, len(theta0) - 2):
+                bounds[i] = (theta0[i], theta0[i])
+        best = maximize_objective(
+            objective, theta0, bounds,
+            n_restarts=self.n_restarts, seed=self.seed,
+        )
+        tk.theta = best[:-2]
+        self._log_noise_s = float(best[-2])
+        self._log_noise_t = float(best[-1])
+
+    def predict(
+        self, X_new: np.ndarray, include_noise: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Predict at target-task inputs (paper Eq. (8)).
+
+        Args:
+            X_new: ``(m, d)`` target-task query inputs.
+            include_noise: Add ``beta_t^-1`` to the variance (the ``c``
+                term of Eq. (8) includes it; default off for the tuner's
+                epistemic-uncertainty regions).
+
+        Returns:
+            ``(mean, variance)`` in the original target scale.
+
+        Raises:
+            RuntimeError: If called before :meth:`fit`.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predict() before fit()")
+        assert self._X is not None and self._tasks is not None
+        assert self._L is not None and self._alpha is not None
+        assert self.transfer_kernel is not None
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        new_tasks = np.full(len(X_new), TARGET_TASK, dtype=int)
+        K_star = self.transfer_kernel.eval(
+            X_new, new_tasks, self._X, self._tasks
+        )
+        mean_z = K_star @ self._alpha
+        v = np.linalg.solve(self._L, K_star.T)
+        prior_diag = self.transfer_kernel.base.diag(X_new)
+        var_z = prior_diag - np.sum(v * v, axis=0)
+        var_z = np.maximum(var_z, 1e-12)
+        if include_noise:
+            var_z = var_z + self.noise_target
+        mean = mean_z * self._y_std + self._y_mean
+        var = var_z * self._y_std**2
+        return mean, var
+
+    def log_marginal_likelihood(self) -> float:
+        """Joint LML of the fitted model."""
+        if not self.is_fitted:
+            raise RuntimeError("log_marginal_likelihood() before fit()")
+        assert self._L is not None and self._alpha is not None
+        L, alpha = self._L, self._alpha
+        z = L @ (L.T @ alpha)
+        return float(
+            -0.5 * z @ alpha
+            - np.sum(np.log(np.diag(L)))
+            - 0.5 * len(z) * np.log(2 * np.pi)
+        )

@@ -1,0 +1,12 @@
+"""Small ML substrate (trees, boosting, matrix factorization) built from
+scratch for the reimplemented baselines."""
+
+from .boosting import GradientBoostingRegressor
+from .factorization import FeatureALS
+from .tree import RegressionTree
+
+__all__ = [
+    "FeatureALS",
+    "GradientBoostingRegressor",
+    "RegressionTree",
+]

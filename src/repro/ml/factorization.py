@@ -1,0 +1,126 @@
+"""Latent-factor matrix completion (substrate for the DAC'19 baseline).
+
+DAC'19 frames design-flow tuning as a recommender-system problem: a
+(configuration x QoR-metric) rating matrix with few observed entries,
+completed by low-rank factorization plus feature-linear side information.
+This module provides the alternating-least-squares factorization engine
+with parameter-feature side features (so unseen configurations get
+predictions through their parameter encoding — the "cold start" path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FeatureALS:
+    """Ridge-regularized bilinear model ``y_ij ≈ (W x_i) . v_j``.
+
+    Each configuration's latent vector is a *linear map of its parameter
+    features* (projection matrix ``W``), so predictions extend to every
+    pool candidate; each metric ``j`` owns a latent vector ``v_j``.
+    Trained by alternating ridge solves on the observed entries.
+
+    Attributes:
+        rank: Latent dimensionality.
+        reg: Ridge regularization strength.
+        n_iterations: ALS sweeps.
+        seed: Initialization seed.
+    """
+
+    rank: int = 6
+    reg: float = 0.1
+    n_iterations: int = 30
+    seed: int | None = 0
+    _W: np.ndarray | None = field(default=None, repr=False)
+    _V: np.ndarray | None = field(default=None, repr=False)
+    _mean: float = 0.0
+    _scale: float = 1.0
+
+    def fit(
+        self,
+        X: np.ndarray,
+        observed: np.ndarray,
+        values: np.ndarray,
+    ) -> "FeatureALS":
+        """Fit on observed (row, metric) entries.
+
+        Args:
+            X: ``(n, d)`` configuration features (all pool rows).
+            observed: ``(k, 2)`` integer array of observed
+                ``(row, metric)`` index pairs.
+            values: Length-``k`` observed ratings (QoR values).
+
+        Returns:
+            ``self``.
+
+        Raises:
+            ValueError: On shape problems or empty observations.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        observed = np.asarray(observed, dtype=int).reshape(-1, 2)
+        values = np.asarray(values, dtype=float).ravel()
+        if len(observed) != len(values) or len(values) == 0:
+            raise ValueError("observed/values misaligned or empty")
+        n_metrics = int(observed[:, 1].max()) + 1
+        d = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+
+        self._mean = float(values.mean())
+        self._scale = float(values.std()) or 1.0
+        z = (values - self._mean) / self._scale
+
+        W = rng.normal(scale=0.1, size=(self.rank, d))
+        V = rng.normal(scale=0.1, size=(n_metrics, self.rank))
+
+        rows = observed[:, 0]
+        cols = observed[:, 1]
+        eye_r = self.reg * np.eye(self.rank)
+        for _ in range(self.n_iterations):
+            U = X @ W.T  # (n, rank) latent configs
+            # Update metric vectors: ridge per metric.
+            for j in range(n_metrics):
+                mask = cols == j
+                if not mask.any():
+                    continue
+                Uj = U[rows[mask]]
+                A = Uj.T @ Uj + eye_r
+                V[j] = np.linalg.solve(A, Uj.T @ z[mask])
+            # Update projection W: vec regression. Design rows are
+            # kron(v_j, x_i); solve ridge in rank*d dims.
+            design = np.einsum(
+                "kr,kd->krd", V[cols], X[rows]
+            ).reshape(len(z), self.rank * d)
+            A = design.T @ design + self.reg * np.eye(self.rank * d)
+            w = np.linalg.solve(A, design.T @ z)
+            W = w.reshape(self.rank, d)
+
+        self._W = W
+        self._V = V
+        return self
+
+    def predict(self, X: np.ndarray, metric: int) -> np.ndarray:
+        """Predicted ratings of every row of ``X`` for one metric.
+
+        Raises:
+            RuntimeError: If not fitted.
+            IndexError: For an unknown metric index.
+        """
+        if self._W is None or self._V is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if not 0 <= metric < len(self._V):
+            raise IndexError(f"metric {metric} out of range")
+        z = (X @ self._W.T) @ self._V[metric]
+        return z * self._scale + self._mean
+
+    def predict_all(self, X: np.ndarray) -> np.ndarray:
+        """``(n, n_metrics)`` predictions for every metric."""
+        if self._W is None or self._V is None:
+            raise RuntimeError("predict_all() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        z = (X @ self._W.T) @ self._V.T
+        return z * self._scale + self._mean

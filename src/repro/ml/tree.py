@@ -1,0 +1,185 @@
+"""CART regression trees (substrate for the ASPDAC'20 FIST baseline).
+
+A small, vectorized regression-tree learner: variance-reduction splits,
+depth / leaf-size regularization, impurity-based feature importances.
+No external ML library is available offline, so this is built from
+scratch on numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    n_samples: int = 0
+    impurity_decrease: float = 0.0
+
+
+@dataclass
+class RegressionTree:
+    """CART regression tree.
+
+    Attributes:
+        max_depth: Maximum tree depth.
+        min_samples_leaf: Minimum samples per leaf.
+        min_samples_split: Minimum samples to attempt a split.
+        max_features: Features considered per split (None = all); useful
+            for randomized ensembles.
+        seed: RNG seed for feature subsampling.
+    """
+
+    max_depth: int = 6
+    min_samples_leaf: int = 2
+    min_samples_split: int = 4
+    max_features: int | None = None
+    seed: int | None = None
+    _root: _Node | None = field(default=None, repr=False)
+    _n_features: int = 0
+    _importances: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Fit the tree.
+
+        Args:
+            X: ``(n, d)`` features.
+            y: Length-``n`` targets.
+
+        Returns:
+            ``self``.
+
+        Raises:
+            ValueError: On misaligned or empty inputs.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y) or len(y) == 0:
+            raise ValueError("X/y must be non-empty and aligned")
+        self._n_features = X.shape[1]
+        self._importances = np.zeros(self._n_features)
+        rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, y, depth=0, rng=rng)
+        total = self._importances.sum()
+        if total > 0:
+            self._importances /= total
+        return self
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, depth: int,
+        rng: np.random.Generator,
+    ) -> _Node:
+        node = _Node(value=float(y.mean()), n_samples=len(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or np.ptp(y) == 0.0
+        ):
+            return node
+
+        n, d = X.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = rng.choice(d, size=self.max_features, replace=False)
+
+        parent_sse = float(np.sum((y - y.mean()) ** 2))
+        best_gain, best_feat, best_thr = 0.0, None, 0.0
+        for j in features:
+            gain, thr = self._best_split_1d(X[:, j], y, parent_sse)
+            if gain > best_gain:
+                best_gain, best_feat, best_thr = gain, int(j), thr
+        if best_feat is None:
+            return node
+
+        mask = X[:, best_feat] <= best_thr
+        node.feature = best_feat
+        node.threshold = best_thr
+        node.impurity_decrease = best_gain
+        assert self._importances is not None
+        self._importances[best_feat] += best_gain
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def _best_split_1d(
+        self, x: np.ndarray, y: np.ndarray, parent_sse: float
+    ) -> tuple[float, float]:
+        """Best variance-reduction split on one feature.
+
+        Returns:
+            ``(gain, threshold)``; gain 0 when no valid split exists.
+        """
+        order = np.argsort(x, kind="stable")
+        xs, ys = x[order], y[order]
+        n = len(ys)
+        csum = np.cumsum(ys)
+        csum2 = np.cumsum(ys * ys)
+        k = np.arange(1, n)  # left sizes
+        left_sse = csum2[:-1] - csum[:-1] ** 2 / k
+        right_sum = csum[-1] - csum[:-1]
+        right_sse = (csum2[-1] - csum2[:-1]) - right_sum**2 / (n - k)
+        gain = parent_sse - (left_sse + right_sse)
+        # Valid split: both sides big enough, threshold between distinct xs.
+        valid = (
+            (k >= self.min_samples_leaf)
+            & ((n - k) >= self.min_samples_leaf)
+            & (xs[1:] > xs[:-1])
+        )
+        if not valid.any():
+            return 0.0, 0.0
+        gain = np.where(valid, gain, -np.inf)
+        best = int(np.argmax(gain))
+        thr = 0.5 * (xs[best] + xs[best + 1])
+        return float(gain[best]), float(thr)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``X``.
+
+        Raises:
+            RuntimeError: If the tree is not fitted.
+        """
+        if self._root is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self._n_features:
+            raise ValueError("feature-count mismatch")
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while node.feature is not None:
+                node = (
+                    node.left if row[node.feature] <= node.threshold
+                    else node.right
+                )
+                assert node is not None
+            out[i] = node.value
+        return out
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Normalized impurity-decrease importances.
+
+        Raises:
+            RuntimeError: If the tree is not fitted.
+        """
+        if self._importances is None:
+            raise RuntimeError("feature_importances_ before fit()")
+        return self._importances.copy()
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.feature is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self._root)

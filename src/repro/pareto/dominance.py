@@ -1,0 +1,81 @@
+"""Dominance relations and Pareto-front extraction (minimization).
+
+All objective values are *minimized*, matching the paper (power, area,
+delay are all smaller-is-better).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether point ``a`` Pareto-dominates ``b`` (minimization).
+
+    ``a`` dominates ``b`` iff it is no worse in every objective and
+    strictly better in at least one.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def epsilon_dominates(
+    a: np.ndarray, b: np.ndarray, epsilon: np.ndarray | float
+) -> bool:
+    """Whether ``a`` additively ε-dominates ``b``: ``a - ε <= b`` in all
+    objectives (the paper's δ-domination, Eq. (11) sense)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a - np.asarray(epsilon, dtype=float) <= b))
+
+
+def non_dominated_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of ``points``.
+
+    Duplicated points are all kept (none strictly dominates its copy).
+
+    Args:
+        points: ``(n, m)`` objective matrix.
+
+    Returns:
+        Length-``n`` boolean mask.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    n = len(pts)
+    mask = np.ones(n, dtype=bool)
+    # Sort by first objective so a point can only be dominated by earlier
+    # (or equal-first-coordinate) points; cuts the quadratic constant.
+    order = np.lexsort(pts.T[::-1])
+    sorted_pts = pts[order]
+    for i in range(n):
+        if not mask[order[i]]:
+            continue
+        p = sorted_pts[i]
+        # Points after i in sort order can't dominate p unless equal in
+        # the first objective, but p may dominate them.
+        later = sorted_pts[i + 1:]
+        dominated = np.all(p <= later, axis=1) & np.any(p < later, axis=1)
+        mask[order[i + 1:][dominated]] = False
+    return mask
+
+
+def pareto_front(points: np.ndarray) -> np.ndarray:
+    """The unique non-dominated rows of ``points``, lexicographically sorted.
+
+    Args:
+        points: ``(n, m)`` objective matrix.
+
+    Returns:
+        ``(k, m)`` matrix of distinct Pareto-optimal points.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    front = pts[non_dominated_mask(pts)]
+    front = np.unique(front, axis=0)
+    order = np.lexsort(front.T[::-1])
+    return front[order]
+
+
+def pareto_indices(points: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows of ``points`` (ascending)."""
+    return np.nonzero(non_dominated_mask(points))[0]

@@ -1,0 +1,108 @@
+"""Clock-tree synthesis model.
+
+Builds an H-tree abstraction over the design's sequential cells: tree depth
+follows the sink count, buffer count follows depth and die size, and the
+resulting skew/insertion-delay/power respond to the clock-related tool
+parameters (``freq``, ``clock_power_driven``, ``place_uncertainty``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .library import CellLibrary
+from .netlist import CompiledNetlist
+from .params import ToolParameters
+from .placement import PlacementResult
+
+
+@dataclass
+class CtsResult:
+    """Output of the CTS stage.
+
+    Attributes:
+        n_clock_buffers: Clock buffers inserted.
+        clock_tree_area: Added area in um^2.
+        clock_tree_cap: Total clock-net capacitance in fF (drives power).
+        skew: Global clock skew in ps (eats into the timing budget).
+        insertion_delay: Clock insertion delay in ps.
+        clock_leakage: Leakage of clock buffers in nW.
+    """
+
+    n_clock_buffers: int
+    clock_tree_area: float
+    clock_tree_cap: float
+    skew: float
+    insertion_delay: float
+    clock_leakage: float
+
+
+#: Maximum flip-flop sinks a single leaf clock buffer drives.
+_SINKS_PER_LEAF = 24
+#: Wire capacitance per um of clock routing, in fF.
+_CLK_CAP_PER_UM = 0.25
+
+
+def synthesize_clock_tree(
+    compiled: CompiledNetlist,
+    placement: PlacementResult,
+    params: ToolParameters,
+    library: CellLibrary,
+) -> CtsResult:
+    """Run the CTS model.
+
+    Args:
+        compiled: Compiled netlist (sink count = sequential cells).
+        placement: Placement result (die size sets wire spans).
+        params: Tool parameters.
+        library: Cell library (clock buffer characteristics).
+
+    Returns:
+        A :class:`CtsResult`.
+    """
+    n_sinks = int(compiled.is_seq.sum())
+    if n_sinks == 0:
+        return CtsResult(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    clkbuf = library.variant("CLKBUF", 4)
+    n_leaves = int(np.ceil(n_sinks / _SINKS_PER_LEAF))
+    depth = max(1, int(np.ceil(np.log2(max(n_leaves, 2)))))
+    # H-tree: level k has 2^k buffers; total internal + leaf buffers.
+    n_buffers = (2 ** (depth + 1) - 1)
+
+    # Clock-power-driven mode merges leaves and skews the tree toward
+    # fewer buffers / less wire at the cost of extra skew.
+    if params.clock_power_driven:
+        n_buffers = int(n_buffers * 0.75)
+        skew_penalty = 1.35
+        cap_scale = 0.80
+    else:
+        skew_penalty = 1.0
+        cap_scale = 1.0
+
+    half_span = (placement.die_width + placement.die_height) / 4.0
+    wire_length = half_span * 2 ** 0.5 * (2 ** (depth / 2.0) + 1.0)
+    clock_cap = cap_scale * (
+        wire_length * _CLK_CAP_PER_UM
+        + n_buffers * clkbuf.input_cap
+        + n_sinks * library.variant("DFF", 1).input_cap
+    )
+
+    # Skew grows with tree depth and die span; placement uncertainty is a
+    # *margin* the designer asserts, handled in STA, not physical skew.
+    skew = skew_penalty * (1.5 * depth + 0.004 * half_span)
+    insertion_delay = depth * (
+        clkbuf.intrinsic_delay
+        + clkbuf.drive_res * clock_cap / max(n_buffers, 1)
+    )
+
+    return CtsResult(
+        n_clock_buffers=n_buffers,
+        clock_tree_area=n_buffers * clkbuf.area,
+        clock_tree_cap=float(clock_cap),
+        skew=float(skew),
+        insertion_delay=float(insertion_delay),
+        clock_leakage=n_buffers * clkbuf.leakage,
+    )

@@ -1,0 +1,134 @@
+"""Additional benchmark design generators: FIR filter and ALU.
+
+The paper's benchmarks come from one design family (MACs).  These
+generators extend the family zoo — a transposed-form FIR filter (MAC-like
+datapath, so a *related* family) and a small ALU (control-heavy, an
+*unrelated* family) — which is what the multi-source transfer extension
+needs to demonstrate relevance discrimination across archives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .library import CellLibrary
+from .mac import _cla_add, _register_bank, _wallace_multiply
+from .netlist import PRIMARY_INPUT, Netlist
+
+
+@dataclass(frozen=True)
+class FirSpec:
+    """A transposed-form FIR filter.
+
+    Attributes:
+        taps: Number of filter taps (one multiplier + adder per tap).
+        width: Data/coefficient bit-width.
+        name: Design name (first ``_``-separated token is the family).
+    """
+
+    taps: int = 4
+    width: int = 6
+    name: str = "fir_small"
+
+
+@dataclass(frozen=True)
+class AluSpec:
+    """A small ALU slice (add, and, or, xor with operation select).
+
+    Attributes:
+        width: Operand bit-width.
+        name: Design name.
+    """
+
+    width: int = 16
+    name: str = "alu_small"
+
+
+def generate_fir_netlist(
+    spec: FirSpec, library: CellLibrary | None = None
+) -> Netlist:
+    """Build a transposed-form FIR: per tap, multiply the (registered)
+    input by a (registered) coefficient and accumulate through a
+    register chain.
+
+    Args:
+        spec: Filter scale.
+        library: Cell library (defaults to the synthetic 7 nm one).
+
+    Returns:
+        A validated :class:`Netlist`.
+    """
+    library = library or CellLibrary.default_7nm()
+    nl = Netlist(spec.name, library)
+
+    # Shared data input, registered once.
+    data_in = []
+    for _ in range(spec.width):
+        nl.add_input()
+        data_in.append(PRIMARY_INPUT)
+    x = _register_bank(nl, data_in)
+
+    carry_chain: list[int] | None = None
+    for _ in range(spec.taps):
+        coeff_in = []
+        for _ in range(spec.width):
+            nl.add_input()
+            coeff_in.append(PRIMARY_INPUT)
+        coeff = _register_bank(nl, coeff_in)
+        product = _wallace_multiply(nl, x, coeff)
+        if carry_chain is None:
+            carry_chain = _register_bank(nl, product)
+        else:
+            w = min(len(product), len(carry_chain))
+            total = _cla_add(nl, product[:w], carry_chain[:w])
+            carry_chain = _register_bank(nl, total[: 2 * spec.width])
+    assert carry_chain is not None
+    _register_bank(nl, carry_chain[: spec.width])
+
+    nl.validate()
+    return nl
+
+
+def generate_alu_netlist(
+    spec: AluSpec, library: CellLibrary | None = None
+) -> Netlist:
+    """Build a small ALU: four bitwise/arith units muxed by a registered
+    2-bit opcode.
+
+    Args:
+        spec: ALU scale.
+        library: Cell library.
+
+    Returns:
+        A validated :class:`Netlist`.
+    """
+    library = library or CellLibrary.default_7nm()
+    nl = Netlist(spec.name, library)
+
+    a_in, b_in = [], []
+    for _ in range(spec.width):
+        nl.add_input()
+        a_in.append(PRIMARY_INPUT)
+        nl.add_input()
+        b_in.append(PRIMARY_INPUT)
+    a = _register_bank(nl, a_in)
+    b = _register_bank(nl, b_in)
+    nl.add_input()
+    op0 = nl.add_cell("DFF", [PRIMARY_INPUT], name="op0")
+    nl.add_input()
+    op1 = nl.add_cell("DFF", [PRIMARY_INPUT], name="op1")
+
+    and_bits = [nl.add_cell("AND2", [a[i], b[i]]) for i in range(spec.width)]
+    or_bits = [nl.add_cell("OR2", [a[i], b[i]]) for i in range(spec.width)]
+    xor_bits = [nl.add_cell("XOR2", [a[i], b[i]]) for i in range(spec.width)]
+    sum_bits = _cla_add(nl, a, b)[: spec.width]
+
+    out = []
+    for i in range(spec.width):
+        lo = nl.add_cell("MUX2", [and_bits[i], or_bits[i], op0])
+        hi = nl.add_cell("MUX2", [xor_bits[i], sum_bits[i], op0])
+        out.append(nl.add_cell("MUX2", [lo, hi, op1]))
+    _register_bank(nl, out)
+
+    nl.validate()
+    return nl

@@ -1,0 +1,181 @@
+"""Synthetic 7 nm-flavoured standard-cell library.
+
+The paper's evaluation runs a commercial physical-design tool on industrial
+7 nm designs.  We cannot ship a real PDK, so this module provides a compact
+standard-cell library whose *relative* characteristics (area, leakage, input
+capacitance, drive resistance, intrinsic delay) follow the usual ordering of
+a real library: an inverter is small and fast, a full adder is large and
+slow, flip-flops dominate sequential power, higher drive strengths cost area
+and leakage but push load faster.
+
+Units are arbitrary-but-consistent "library units":
+
+- area:            um^2
+- capacitance:     fF
+- resistance:      kOhm       (so R * C is in ps)
+- delay:           ps
+- leakage:         nW
+
+Every cell type is available in several drive strengths (``X1``, ``X2``,
+``X4`` ...).  Gate sizing during flow optimization moves cells along this
+drive ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A single standard cell master (function at one drive strength).
+
+    Attributes:
+        name: Library cell name, e.g. ``"NAND2_X2"``.
+        function: Logical function family, e.g. ``"NAND2"``.
+        drive: Drive-strength multiplier (1, 2, 4, ...).
+        n_inputs: Number of data input pins.
+        area: Cell footprint in um^2.
+        input_cap: Capacitance of one input pin in fF.
+        drive_res: Equivalent pull resistance in kOhm; cell delay grows as
+            ``drive_res * load_cap``.
+        intrinsic_delay: Parasitic (unloaded) delay in ps.
+        leakage: Static leakage power in nW.
+        internal_energy: Internal switching energy per output toggle in fJ.
+        is_sequential: True for flip-flops / latches.
+    """
+
+    name: str
+    function: str
+    drive: int
+    n_inputs: int
+    area: float
+    input_cap: float
+    drive_res: float
+    intrinsic_delay: float
+    leakage: float
+    internal_energy: float
+    is_sequential: bool = False
+
+
+def _scaled(base: "CellType", drive: int) -> CellType:
+    """Derive a higher-drive variant of ``base``.
+
+    Doubling drive roughly doubles area/leakage/input-cap and halves drive
+    resistance, which is how real libraries behave to first order.
+    """
+    return CellType(
+        name=f"{base.function}_X{drive}",
+        function=base.function,
+        drive=drive,
+        n_inputs=base.n_inputs,
+        area=base.area * (0.55 + 0.45 * drive),
+        input_cap=base.input_cap * (0.6 + 0.4 * drive),
+        drive_res=base.drive_res / drive,
+        intrinsic_delay=base.intrinsic_delay * (1.0 + 0.08 * (drive - 1)),
+        leakage=base.leakage * (0.5 + 0.5 * drive),
+        internal_energy=base.internal_energy * (0.6 + 0.4 * drive),
+        is_sequential=base.is_sequential,
+    )
+
+
+# Base (X1) masters.  Numbers are representative of a 7 nm-class library in
+# the units documented at module top; only relative magnitudes matter.
+_BASE_CELLS = [
+    CellType("INV_X1", "INV", 1, 1, 0.20, 0.7, 1.625, 4.0, 1.2, 0.25),
+    CellType("BUF_X1", "BUF", 1, 1, 0.28, 0.8, 1.500, 7.5, 1.6, 0.40),
+    CellType("NAND2_X1", "NAND2", 1, 2, 0.28, 0.8, 1.875, 5.5, 1.8, 0.35),
+    CellType("NOR2_X1", "NOR2", 1, 2, 0.28, 0.9, 2.250, 6.0, 1.9, 0.38),
+    CellType("AND2_X1", "AND2", 1, 2, 0.36, 0.8, 1.950, 8.0, 2.2, 0.45),
+    CellType("OR2_X1", "OR2", 1, 2, 0.36, 0.9, 2.200, 8.5, 2.3, 0.47),
+    CellType("XOR2_X1", "XOR2", 1, 2, 0.56, 1.3, 2.625, 11.0, 3.4, 0.80),
+    CellType("XNOR2_X1", "XNOR2", 1, 2, 0.56, 1.3, 2.625, 11.0, 3.4, 0.80),
+    CellType("AOI21_X1", "AOI21", 1, 3, 0.42, 0.9, 2.125, 7.0, 2.6, 0.50),
+    CellType("OAI21_X1", "OAI21", 1, 3, 0.42, 0.9, 2.175, 7.2, 2.6, 0.50),
+    CellType("MUX2_X1", "MUX2", 1, 3, 0.60, 1.1, 2.375, 10.0, 3.6, 0.70),
+    CellType("HA_X1", "HA", 1, 2, 0.76, 1.4, 2.750, 13.0, 4.5, 1.00),
+    CellType("FA_X1", "FA", 1, 3, 1.16, 1.6, 3.125, 17.0, 6.8, 1.60),
+    CellType(
+        "DFF_X1", "DFF", 1, 1, 1.40, 1.0, 2.000, 22.0, 8.5, 2.40,
+        is_sequential=True,
+    ),
+    CellType(
+        "CLKBUF_X1", "CLKBUF", 1, 1, 0.40, 1.0, 1.250, 6.5, 2.4, 0.55,
+    ),
+]
+
+_DRIVES = (1, 2, 4, 8)
+
+
+@dataclass
+class CellLibrary:
+    """A full library: every function at every drive strength.
+
+    Provides name and (function, drive) lookup plus the drive ladder used by
+    gate sizing.
+
+    Attributes:
+        cells: Mapping from cell name to :class:`CellType`.
+        voltage: Supply voltage in V (used by power analysis).
+    """
+
+    cells: dict[str, CellType] = field(default_factory=dict)
+    voltage: float = 0.75
+
+    @classmethod
+    def default_7nm(cls) -> "CellLibrary":
+        """Build the default synthetic 7 nm library."""
+        lib = cls()
+        for base in _BASE_CELLS:
+            for drive in _DRIVES:
+                cell = base if drive == 1 else _scaled(base, drive)
+                lib.cells[cell.name] = cell
+        return lib
+
+    def get(self, name: str) -> CellType:
+        """Look up a cell master by name.
+
+        Raises:
+            KeyError: If the cell is not in the library.
+        """
+        return self.cells[name]
+
+    def variant(self, function: str, drive: int) -> CellType:
+        """Return the master implementing ``function`` at ``drive``.
+
+        Raises:
+            KeyError: If the function/drive combination does not exist.
+        """
+        return self.cells[f"{function}_X{drive}"]
+
+    def functions(self) -> list[str]:
+        """All function families in the library, sorted."""
+        return sorted({c.function for c in self.cells.values()})
+
+    def drives_for(self, function: str) -> list[int]:
+        """Available drive strengths for ``function``, ascending."""
+        return sorted(
+            c.drive for c in self.cells.values() if c.function == function
+        )
+
+    def upsize(self, cell: CellType) -> CellType | None:
+        """Next-stronger variant of ``cell``, or None at the top of the ladder."""
+        drives = self.drives_for(cell.function)
+        idx = drives.index(cell.drive)
+        if idx + 1 >= len(drives):
+            return None
+        return self.variant(cell.function, drives[idx + 1])
+
+    def downsize(self, cell: CellType) -> CellType | None:
+        """Next-weaker variant of ``cell``, or None at the bottom."""
+        drives = self.drives_for(cell.function)
+        idx = drives.index(cell.drive)
+        if idx == 0:
+            return None
+        return self.variant(cell.function, drives[idx - 1])
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells

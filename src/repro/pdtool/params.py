@@ -1,0 +1,110 @@
+"""Tool parameter schema for the simulated PD flow.
+
+These are exactly the tunable knobs of paper Table 1.  Each benchmark space
+exposes a *subset* with its own ranges; :class:`ToolParameters` carries the
+full set with tool defaults so the flow can always run.
+
+Units follow the paper's conventions for Innovus-style flows:
+
+- ``freq``:               target clock frequency in MHz
+- ``place_uncertainty``:  clock uncertainty in ps
+- ``max_length``:         DRV max net length in um
+- ``max_transition``:     DRV max slew in ns
+- ``max_capacitance``:    DRV max net capacitance in pF
+- ``max_allowed_delay``:  timing-path relaxation in ns
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+FLOW_EFFORT_LEVELS = ("standard", "express", "extreme")
+TIMING_EFFORT_LEVELS = ("medium", "high")
+CONG_EFFORT_LEVELS = ("AUTO", "MEDIUM", "HIGH")
+
+
+@dataclass(frozen=True)
+class ToolParameters:
+    """One full parameter configuration for the simulated PD tool.
+
+    Field names mirror paper Table 1 (snake-cased; the two distinct
+    ``max_density``/``max_Density`` knobs become ``max_density_place`` and
+    ``max_density_util``).
+    """
+
+    freq: float = 1000.0
+    place_rcfactor: float = 1.1
+    place_uncertainty: float = 100.0
+    flow_effort: str = "standard"
+    timing_effort: str = "medium"
+    clock_power_driven: bool = False
+    uniform_density: bool = False
+    cong_effort: str = "AUTO"
+    max_density_place: float = 0.75
+    max_length: float = 250.0
+    max_density_util: float = 0.75
+    max_transition: float = 0.25
+    max_capacitance: float = 0.10
+    max_fanout: int = 32
+    max_allowed_delay: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.flow_effort not in FLOW_EFFORT_LEVELS:
+            raise ValueError(f"bad flow_effort {self.flow_effort!r}")
+        if self.timing_effort not in TIMING_EFFORT_LEVELS:
+            raise ValueError(f"bad timing_effort {self.timing_effort!r}")
+        if self.cong_effort not in CONG_EFFORT_LEVELS:
+            raise ValueError(f"bad cong_effort {self.cong_effort!r}")
+        if self.freq <= 0:
+            raise ValueError("freq must be positive")
+        if not 0.0 < self.max_density_place <= 1.0:
+            raise ValueError("max_density_place must be in (0, 1]")
+        if not 0.0 < self.max_density_util <= 1.0:
+            raise ValueError("max_density_util must be in (0, 1]")
+        for name in (
+            "place_rcfactor", "place_uncertainty", "max_length",
+            "max_transition", "max_capacitance", "max_allowed_delay",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.max_fanout < 1:
+            raise ValueError("max_fanout must be >= 1")
+
+    @property
+    def clock_period_ps(self) -> float:
+        """Target clock period in ps derived from ``freq`` (MHz)."""
+        return 1.0e6 / self.freq
+
+    @property
+    def flow_effort_level(self) -> int:
+        """0-based ordinal of ``flow_effort``."""
+        return FLOW_EFFORT_LEVELS.index(self.flow_effort)
+
+    @property
+    def timing_effort_level(self) -> int:
+        """0-based ordinal of ``timing_effort``."""
+        return TIMING_EFFORT_LEVELS.index(self.timing_effort)
+
+    @property
+    def cong_effort_level(self) -> int:
+        """0-based ordinal of ``cong_effort``."""
+        return CONG_EFFORT_LEVELS.index(self.cong_effort)
+
+    def replace(self, **changes: object) -> "ToolParameters":
+        """Return a copy with ``changes`` applied."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return ToolParameters(**current)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict view (stable field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, values: dict[str, object]) -> "ToolParameters":
+        """Build from a (possibly partial) dict; missing fields use defaults."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(values) - known
+        if unknown:
+            raise ValueError(f"unknown tool parameters: {sorted(unknown)}")
+        return cls(**values)  # type: ignore[arg-type]

@@ -1,0 +1,150 @@
+"""Critical-path extraction and timing reports.
+
+Complements the vectorized STA with the query every timing engineer
+actually runs: *which* paths are critical.  Paths are traced backwards
+from the worst endpoints through each cell's worst-arrival fanin, giving
+the classic single-worst-path-per-endpoint report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .netlist import CompiledNetlist
+from .sta import TimingResult
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One reported timing path.
+
+    Attributes:
+        endpoint: Index of the capturing sequential cell.
+        cells: Cell indices along the path, launch to capture (the
+            endpoint itself excluded).
+        arrival: Data arrival time at the endpoint in ps.
+        slack: Endpoint slack in ps (period minus arrival minus margins,
+            as computed by the STA pass).
+    """
+
+    endpoint: int
+    cells: tuple[int, ...]
+    arrival: float
+    slack: float
+
+    @property
+    def depth(self) -> int:
+        """Logic depth of the path (cells traversed)."""
+        return len(self.cells)
+
+
+def extract_critical_paths(
+    compiled: CompiledNetlist,
+    timing: TimingResult,
+    n_paths: int = 5,
+) -> list[TimingPath]:
+    """Report the worst path per endpoint, for the worst ``n_paths``
+    endpoints.
+
+    Args:
+        compiled: Compiled netlist the timing result belongs to.
+        timing: Result of ``analyze_timing``.
+        n_paths: Number of endpoints reported.
+
+    Returns:
+        Paths sorted worst-first (largest arrival).
+    """
+    if n_paths < 1:
+        raise ValueError("n_paths must be >= 1")
+    endpoints = np.nonzero(compiled.is_seq)[0]
+    if len(endpoints) == 0:
+        return []
+    order = np.argsort(-timing.data_arrival[endpoints])[:n_paths]
+    global_margin = timing.critical_delay - float(
+        timing.data_arrival[compiled.is_seq].max()
+    ) if compiled.is_seq.any() else 0.0
+
+    paths = []
+    for ep in endpoints[order]:
+        cells = _trace_back(compiled, timing, int(ep))
+        arrival = float(timing.data_arrival[ep])
+        paths.append(TimingPath(
+            endpoint=int(ep),
+            cells=tuple(cells),
+            arrival=arrival,
+            slack=float(timing.slack + (
+                timing.critical_delay - global_margin - arrival
+            )),
+        ))
+    return paths
+
+
+def _worst_fanin(
+    compiled: CompiledNetlist, timing: TimingResult, cell: int
+) -> int | None:
+    """Driver with the largest output arrival among ``cell``'s fanins."""
+    lo, hi = compiled.fanin_ptr[cell], compiled.fanin_ptr[cell + 1]
+    drivers = compiled.fanin_idx[lo:hi]
+    real = drivers[drivers >= 0]
+    if len(real) == 0:
+        return None
+    return int(real[np.argmax(timing.arrival[real])])
+
+def _trace_back(
+    compiled: CompiledNetlist, timing: TimingResult, endpoint: int
+) -> list[int]:
+    """Walk the worst-arrival chain from an endpoint to a startpoint."""
+    cells: list[int] = []
+    cursor = _worst_fanin(compiled, timing, endpoint)
+    guard = compiled.n_cells + 1
+    while cursor is not None and guard:
+        cells.append(cursor)
+        if compiled.is_seq[cursor]:
+            break  # reached the launching register
+        cursor = _worst_fanin(compiled, timing, cursor)
+        guard -= 1
+    cells.reverse()
+    return cells
+
+
+def format_path_report(
+    compiled: CompiledNetlist, paths: list[TimingPath]
+) -> str:
+    """Human-readable multi-path timing report."""
+    lines = []
+    for rank, path in enumerate(paths, 1):
+        lines.append(
+            f"Path {rank}: endpoint U{path.endpoint} "
+            f"arrival={path.arrival:.1f} ps "
+            f"slack={path.slack:+.1f} ps depth={path.depth}"
+        )
+        for cell in path.cells:
+            inst = compiled.netlist.instances[cell]
+            lines.append(
+                f"    {inst.name:<12s} {inst.cell.name:<12s} "
+                f"arr={float(path_arrival(compiled, cell)):.1f}"
+            )
+    return "\n".join(lines)
+
+
+#: Cache-free helper used by the report formatter.
+def path_arrival(compiled: CompiledNetlist, cell: int) -> float:
+    """Arrival of one cell from the last computed report context.
+
+    The report formatter stores no timing state; this helper exists so
+    tests can monkeypatch formatting without an STA pass.  It returns
+    NaN when no context is installed.
+    """
+    timing = getattr(compiled, "_last_timing", None)
+    if timing is None:
+        return float("nan")
+    return float(timing.arrival[cell])
+
+
+def install_report_context(
+    compiled: CompiledNetlist, timing: TimingResult
+) -> None:
+    """Attach ``timing`` to ``compiled`` for report formatting."""
+    compiled._last_timing = timing  # type: ignore[attr-defined]

@@ -1,0 +1,55 @@
+"""Quality-of-results report returned by the simulated PD flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class QoRReport:
+    """Post-layout QoR of one flow run.
+
+    The three headline metrics match the paper's objective spaces:
+
+    Attributes:
+        area: Total design area in um^2 (cells + clock tree + DRV buffers,
+            inflated by low utilization).
+        power: Total power in mW.
+        delay: Critical-path delay in ns.
+        slack_ns: Setup slack against the target clock in ns.
+        wirelength: Routed wirelength in um.
+        n_cells: Final instance count (including repair/clock buffers).
+        n_drv_violations: Nets violating a DRV rule before repair.
+        congestion_overflow: Average routing overflow after optimization.
+        runtime_hours: Modeled tool runtime in hours (for reporting
+            flavour; the tuners count runs, not hours, like the paper).
+    """
+
+    area: float
+    power: float
+    delay: float
+    slack_ns: float = 0.0
+    wirelength: float = 0.0
+    n_cells: int = 0
+    n_drv_violations: int = 0
+    congestion_overflow: float = 0.0
+    runtime_hours: float = 0.0
+
+    def objectives(self, names: tuple[str, ...]) -> tuple[float, ...]:
+        """Extract the named QoR metrics in order.
+
+        Args:
+            names: Metric names, each one of ``area``/``power``/``delay``
+                (or any other report field).
+
+        Returns:
+            The metric values as a tuple.
+
+        Raises:
+            AttributeError: If a name is not a report field.
+        """
+        return tuple(float(getattr(self, name)) for name in names)
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict view of all fields."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,91 @@
+"""Tool-style text reports: QoR summary and run comparison.
+
+Every commercial PD tool closes a run with a summary report; these
+helpers produce the equivalent for the simulated flow, plus a
+side-by-side comparison formatter used when sweeping configurations.
+"""
+
+from __future__ import annotations
+
+from .params import ToolParameters
+from .qor import QoRReport
+
+
+def format_qor_report(
+    report: QoRReport,
+    params: ToolParameters | None = None,
+    design_name: str = "design",
+) -> str:
+    """Render one run's QoR as a tool-style summary block.
+
+    Args:
+        report: Flow output.
+        params: Optional configuration to echo.
+        design_name: Header label.
+
+    Returns:
+        A multi-line report string.
+    """
+    lines = [
+        "#" * 58,
+        f"#  QoR summary: {design_name}",
+        "#" * 58,
+        f"{'Total area':<28}: {report.area:14.2f} um^2",
+        f"{'Total power':<28}: {report.power:14.4f} mW",
+        f"{'Critical-path delay':<28}: {report.delay:14.4f} ns",
+        f"{'Setup slack':<28}: {report.slack_ns:+14.4f} ns",
+        f"{'Routed wirelength':<28}: {report.wirelength:14.1f} um",
+        f"{'Instance count':<28}: {report.n_cells:14d}",
+        f"{'DRV violations (pre-fix)':<28}: "
+        f"{report.n_drv_violations:14d}",
+        f"{'Routing overflow':<28}: "
+        f"{report.congestion_overflow:14.4f}",
+        f"{'Modeled runtime':<28}: {report.runtime_hours:14.2f} h",
+    ]
+    if params is not None:
+        lines.append("-" * 58)
+        lines.append("#  Parameters")
+        for key, value in params.to_dict().items():
+            lines.append(f"{key:<28}: {value}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: list[tuple[str, QoRReport]],
+    baseline: int = 0,
+) -> str:
+    """Side-by-side comparison of several runs.
+
+    Args:
+        rows: ``(label, report)`` pairs.
+        baseline: Row index percent-deltas are computed against.
+
+    Returns:
+        A table string with absolute values and deltas.
+
+    Raises:
+        ValueError: On empty input or bad baseline index.
+    """
+    if not rows:
+        raise ValueError("nothing to compare")
+    if not 0 <= baseline < len(rows):
+        raise ValueError("baseline index out of range")
+    base = rows[baseline][1]
+
+    def delta(v: float, ref: float) -> str:
+        if ref == 0:
+            return "    n/a"
+        return f"{100.0 * (v / ref - 1.0):+6.1f}%"
+
+    header = (
+        f"{'run':<18} {'area um^2':>12} {'Δ':>7} "
+        f"{'power mW':>10} {'Δ':>7} {'delay ns':>10} {'Δ':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, r in rows:
+        lines.append(
+            f"{label:<18} {r.area:12.1f} {delta(r.area, base.area):>7} "
+            f"{r.power:10.4f} {delta(r.power, base.power):>7} "
+            f"{r.delay:10.4f} {delta(r.delay, base.delay):>7}"
+        )
+    return "\n".join(lines)

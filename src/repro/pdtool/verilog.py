@@ -1,0 +1,251 @@
+"""Structural Verilog export/import for gate-level netlists.
+
+A real PD flow consumes and emits gate-level Verilog; this module writes
+the simulator's :class:`~repro.pdtool.netlist.Netlist` as a synthesizable
+structural module and reads the same subset back.  The supported subset
+is deliberately strict (one module, library-cell instantiations with
+named port connections, ``input``/``wire`` declarations), which keeps
+round-trips loss-free and the parser honest.
+
+Conventions:
+
+- instance output nets are named ``n<id>``, primary inputs ``pi<k>``;
+- cell input pins are ``A``, ``B``, ``C`` ... in fanin order, the output
+  pin is ``Y`` (``Q`` for sequential cells);
+- sequential cells get ``CK(clk)`` automatically.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .library import CellLibrary
+from .netlist import PRIMARY_INPUT, Netlist
+
+#: Pin names for instance inputs, in fanin order.
+_PIN_NAMES = ("A", "B", "C", "D")
+
+
+def _output_pin(is_sequential: bool) -> str:
+    return "Q" if is_sequential else "Y"
+
+
+def write_verilog(netlist: Netlist, path: str | Path) -> None:
+    """Write ``netlist`` as a structural Verilog module.
+
+    Args:
+        netlist: The design to export.
+        path: Output file path.
+    """
+    lines: list[str] = []
+    n_pi = netlist.n_primary_inputs
+    ports = ["clk"] + [f"pi{k}" for k in range(n_pi)]
+    lines.append(f"module {netlist.name} (")
+    lines.append("  " + ", ".join(ports))
+    lines.append(");")
+    lines.append("  input clk;")
+    for k in range(n_pi):
+        lines.append(f"  input pi{k};")
+    for i in range(netlist.n_cells):
+        lines.append(f"  wire n{i};")
+    lines.append("")
+
+    # Primary-input pins are consumed in instance order; each
+    # PRIMARY_INPUT fanin takes the next pi index, which makes the
+    # export deterministic and the import unambiguous.
+    pi_cursor = 0
+    for i, inst in enumerate(netlist.instances):
+        conns = []
+        for pin_idx, fanin in enumerate(inst.fanins):
+            pin = _PIN_NAMES[pin_idx]
+            if fanin == PRIMARY_INPUT:
+                net = f"pi{pi_cursor}"
+                pi_cursor += 1
+            else:
+                net = f"n{fanin}"
+            conns.append(f".{pin}({net})")
+        out_pin = _output_pin(inst.cell.is_sequential)
+        conns.append(f".{out_pin}(n{i})")
+        if inst.cell.is_sequential:
+            conns.append(".CK(clk)")
+        lines.append(
+            f"  {inst.cell.name} {inst.name} ({', '.join(conns)});"
+        )
+    lines.append("endmodule")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+_INSTANCE_RE = re.compile(
+    r"^\s*(?P<cell>[A-Za-z_][\w]*)\s+(?P<name>[\w\\\[\]]+)\s*"
+    r"\((?P<conns>.*)\)\s*;\s*$"
+)
+_CONN_RE = re.compile(r"\.(?P<pin>\w+)\s*\(\s*(?P<net>[\w\[\]]+)\s*\)")
+_MODULE_RE = re.compile(r"^\s*module\s+(?P<name>\w+)")
+
+
+class VerilogParseError(ValueError):
+    """Raised when the input is outside the supported structural subset."""
+
+
+def read_verilog(
+    path: str | Path, library: CellLibrary | None = None
+) -> Netlist:
+    """Parse a structural Verilog file written by :func:`write_verilog`.
+
+    Args:
+        path: Input file.
+        library: Cell library to resolve masters against.
+
+    Returns:
+        The reconstructed :class:`Netlist`.
+
+    Raises:
+        VerilogParseError: On unsupported constructs, unknown cells,
+            undriven nets, or combinational cycles.
+    """
+    library = library or CellLibrary.default_7nm()
+    text = Path(path).read_text()
+    # Strip comments.
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+    module_name = None
+    raw_instances: list[tuple[str, str, dict[str, str]]] = []
+    n_pi = 0
+    for statement in _statements(text):
+        if statement.strip() in ("", ";"):
+            continue
+        m = _MODULE_RE.match(statement)
+        if m:
+            module_name = m.group("name")
+            continue
+        if re.match(r"^\s*(endmodule|wire |output )", statement):
+            continue
+        if re.match(r"^\s*input\s", statement):
+            names = statement.split("input", 1)[1]
+            n_pi += sum(
+                1 for token in re.findall(r"\w+", names)
+                if token.startswith("pi")
+            )
+            continue
+        m = _INSTANCE_RE.match(statement)
+        if m:
+            conns = dict(
+                (c.group("pin"), c.group("net"))
+                for c in _CONN_RE.finditer(m.group("conns"))
+            )
+            raw_instances.append((m.group("cell"), m.group("name"), conns))
+            continue
+        if statement.strip():
+            raise VerilogParseError(
+                f"unsupported construct: {statement.strip()[:60]!r}"
+            )
+    if module_name is None:
+        raise VerilogParseError("no module declaration found")
+
+    # Map output nets to the producing raw-instance index.
+    driver_of: dict[str, int] = {}
+    for idx, (cell_name, _, conns) in enumerate(raw_instances):
+        if cell_name not in library:
+            raise VerilogParseError(f"unknown cell {cell_name!r}")
+        out_pin = _output_pin(library.get(cell_name).is_sequential)
+        if out_pin not in conns:
+            raise VerilogParseError(
+                f"instance {idx} missing output pin {out_pin}"
+            )
+        net = conns[out_pin]
+        if net in driver_of:
+            raise VerilogParseError(f"net {net!r} multiply driven")
+        driver_of[net] = idx
+
+    # Topologically order instances (inputs before users); sequential
+    # cells break cycles like the simulator's levelizer.
+    order = _toposort(raw_instances, driver_of, library)
+    new_id = {old: new for new, old in enumerate(order)}
+
+    netlist = Netlist(module_name, library)
+    for _ in range(n_pi):
+        netlist.add_input()
+    for old_idx in order:
+        cell_name, inst_name, conns = raw_instances[old_idx]
+        cell = library.get(cell_name)
+        fanins: list[int] = []
+        for pin_idx in range(cell.n_inputs):
+            pin = _PIN_NAMES[pin_idx]
+            if pin not in conns:
+                raise VerilogParseError(
+                    f"instance {inst_name} missing pin {pin}"
+                )
+            net = conns[pin]
+            if net.startswith("pi"):
+                fanins.append(PRIMARY_INPUT)
+            elif net in driver_of:
+                fanins.append(new_id[driver_of[net]])
+            else:
+                raise VerilogParseError(f"undriven net {net!r}")
+        netlist.add_cell(
+            cell.function, fanins, drive=cell.drive, name=inst_name
+        )
+    netlist.validate()
+    return netlist
+
+
+def _statements(text: str):
+    """Split Verilog text into statements (on ';' keeping headers)."""
+    # Module headers span the port list; normalize whitespace first.
+    text = re.sub(r"\s+", " ", text)
+    for part in text.split(";"):
+        yield part + ";"
+
+
+def _toposort(raw_instances, driver_of, library: CellLibrary) -> list[int]:
+    """Topological order of raw instance indices.
+
+    The netlist model is append-only (fanins precede users), so *every*
+    dependency — including a flip-flop's data input — must be orderable.
+    Register feedback loops therefore parse as cycles and are rejected
+    (the simulator's MAC generator models accumulate loops by shadow
+    registers instead; see ``mac.py``).
+
+    Raises:
+        VerilogParseError: On any cyclic dependency.
+    """
+    n = len(raw_instances)
+    deps: list[list[int]] = []
+    for cell_name, _, conns in raw_instances:
+        cell = library.get(cell_name)
+        cell_deps = []
+        for pin_idx in range(cell.n_inputs):
+            net = conns.get(_PIN_NAMES[pin_idx], "")
+            if net in driver_of:
+                cell_deps.append(driver_of[net])
+        deps.append(cell_deps)
+
+    state = [0] * n  # 0=unvisited 1=visiting 2=done
+    order: list[int] = []
+
+    def visit(i: int) -> None:
+        if state[i] == 2:
+            return
+        if state[i] == 1:
+            raise VerilogParseError(
+                "cyclic dependency (combinational cycle or register "
+                "feedback loop) is not representable"
+            )
+        state[i] = 1
+        for d in deps[i]:
+            visit(d)
+        state[i] = 2
+        order.append(i)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10 * n + 100))
+    try:
+        for i in range(n):
+            visit(i)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return order

@@ -1,0 +1,30 @@
+"""Typed parameter spaces, encoding, and sampling."""
+
+from .parameters import (
+    BoolParameter,
+    EnumParameter,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+)
+from .sampling import (
+    grid_sample,
+    latin_hypercube,
+    random_sample,
+    unique_configurations,
+)
+from .space import Configuration, ParameterSpace
+
+__all__ = [
+    "BoolParameter",
+    "Configuration",
+    "EnumParameter",
+    "FloatParameter",
+    "IntParameter",
+    "Parameter",
+    "ParameterSpace",
+    "grid_sample",
+    "latin_hypercube",
+    "random_sample",
+    "unique_configurations",
+]

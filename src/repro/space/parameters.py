@@ -1,0 +1,196 @@
+"""Typed tunable-parameter definitions.
+
+A parameter couples a name to a domain and knows how to move between three
+representations:
+
+- **value**: the native Python value the tool consumes (float, int, bool,
+  or an enum string);
+- **unit**: a position in ``[0, 1]`` (what samplers produce);
+- **feature**: a float the surrogate models see (ordinal index for enums).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class Parameter(ABC):
+    """Abstract tunable parameter.
+
+    Attributes:
+        name: Parameter name (matches a :class:`ToolParameters` field).
+    """
+
+    name: str
+
+    @abstractmethod
+    def from_unit(self, u: float) -> object:
+        """Map ``u`` in [0, 1] to a native value."""
+
+    @abstractmethod
+    def to_feature(self, value: object) -> float:
+        """Map a native value to the model-facing float."""
+
+    @abstractmethod
+    def from_feature(self, feature: float) -> object:
+        """Map (and snap) a model-facing float back to a native value."""
+
+    @abstractmethod
+    def feature_bounds(self) -> tuple[float, float]:
+        """Inclusive (low, high) range of the feature representation."""
+
+    @abstractmethod
+    def contains(self, value: object) -> bool:
+        """Whether ``value`` lies in this parameter's domain."""
+
+    def _check_unit(self, u: float) -> float:
+        if not 0.0 <= u <= 1.0:
+            raise ValueError(f"{self.name}: unit sample {u} outside [0, 1]")
+        return float(u)
+
+
+@dataclass(frozen=True)
+class FloatParameter(Parameter):
+    """A continuous parameter on ``[low, high]``.
+
+    Attributes:
+        name: Parameter name.
+        low: Lower bound (inclusive).
+        high: Upper bound (inclusive).
+    """
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+
+    def from_unit(self, u: float) -> float:
+        u = self._check_unit(u)
+        return self.low + u * (self.high - self.low)
+
+    def to_feature(self, value: object) -> float:
+        return float(value)  # type: ignore[arg-type]
+
+    def from_feature(self, feature: float) -> float:
+        return float(min(max(feature, self.low), self.high))
+
+    def feature_bounds(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+    def contains(self, value: object) -> bool:
+        return (
+            isinstance(value, (int, float))
+            and self.low <= float(value) <= self.high
+        )
+
+
+@dataclass(frozen=True)
+class IntParameter(Parameter):
+    """An integer parameter on ``[low, high]`` (inclusive).
+
+    Attributes:
+        name: Parameter name.
+        low: Lower bound.
+        high: Upper bound.
+    """
+
+    name: str
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+
+    def from_unit(self, u: float) -> int:
+        u = self._check_unit(u)
+        span = self.high - self.low + 1
+        return int(min(self.low + int(u * span), self.high))
+
+    def to_feature(self, value: object) -> float:
+        return float(value)  # type: ignore[arg-type]
+
+    def from_feature(self, feature: float) -> int:
+        return int(min(max(round(feature), self.low), self.high))
+
+    def feature_bounds(self) -> tuple[float, float]:
+        return (float(self.low), float(self.high))
+
+    def contains(self, value: object) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.low <= value <= self.high
+        )
+
+
+@dataclass(frozen=True)
+class BoolParameter(Parameter):
+    """A boolean parameter.
+
+    Attributes:
+        name: Parameter name.
+    """
+
+    name: str
+
+    def from_unit(self, u: float) -> bool:
+        u = self._check_unit(u)
+        return u >= 0.5
+
+    def to_feature(self, value: object) -> float:
+        return 1.0 if value else 0.0
+
+    def from_feature(self, feature: float) -> bool:
+        return feature >= 0.5
+
+    def feature_bounds(self) -> tuple[float, float]:
+        return (0.0, 1.0)
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class EnumParameter(Parameter):
+    """An ordered categorical parameter.
+
+    The paper's effort-style knobs (``flowEffort``, ``cong_effort``,
+    ``timing_effort``) are ordinal — levels have a natural order — so the
+    feature representation is the level index.
+
+    Attributes:
+        name: Parameter name.
+        levels: Ordered tuple of allowed string values.
+    """
+
+    name: str
+    levels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError(f"{self.name}: need at least two levels")
+        if len(set(self.levels)) != len(self.levels):
+            raise ValueError(f"{self.name}: duplicate levels")
+
+    def from_unit(self, u: float) -> str:
+        u = self._check_unit(u)
+        idx = min(int(u * len(self.levels)), len(self.levels) - 1)
+        return self.levels[idx]
+
+    def to_feature(self, value: object) -> float:
+        return float(self.levels.index(value))  # type: ignore[arg-type]
+
+    def from_feature(self, feature: float) -> str:
+        idx = int(min(max(round(feature), 0), len(self.levels) - 1))
+        return self.levels[idx]
+
+    def feature_bounds(self) -> tuple[float, float]:
+        return (0.0, float(len(self.levels) - 1))
+
+    def contains(self, value: object) -> bool:
+        return value in self.levels

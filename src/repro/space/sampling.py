@@ -1,0 +1,83 @@
+"""Space sampling: Latin hypercube (the paper's scheme), random, and grid.
+
+The paper builds its offline benchmarks by Latin-hypercube selection of
+parameter configuration points (Section 4.1); :func:`latin_hypercube` is a
+self-contained implementation (no scipy.qmc dependency in hot paths, and
+deterministic under a seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .space import Configuration, ParameterSpace
+
+
+def latin_hypercube(
+    space: ParameterSpace, n: int, seed: int | None = None
+) -> list[Configuration]:
+    """Latin-hypercube sample of ``n`` configurations.
+
+    Each dimension is split into ``n`` equal strata; every stratum is hit
+    exactly once, with uniform jitter inside the stratum and an independent
+    random permutation per dimension.
+
+    Args:
+        space: The space to sample.
+        n: Number of configurations (>= 1).
+        seed: RNG seed for reproducibility.
+
+    Returns:
+        ``n`` configurations (duplicates possible after discretization of
+        int/enum/bool parameters; see :func:`unique_configurations`).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    unit = np.empty((n, space.dim))
+    for j in range(space.dim):
+        perm = rng.permutation(n)
+        unit[:, j] = (perm + rng.uniform(size=n)) / n
+    return [space.from_unit(row) for row in unit]
+
+
+def random_sample(
+    space: ParameterSpace, n: int, seed: int | None = None
+) -> list[Configuration]:
+    """Uniform random sample of ``n`` configurations."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    unit = rng.uniform(size=(n, space.dim))
+    return [space.from_unit(row) for row in unit]
+
+
+def grid_sample(
+    space: ParameterSpace, points_per_dim: int
+) -> list[Configuration]:
+    """Full-factorial grid with ``points_per_dim`` levels per dimension.
+
+    Beware combinatorial growth; intended for small spaces and tests.
+    """
+    if points_per_dim < 2:
+        raise ValueError("points_per_dim must be >= 2")
+    axes = [
+        np.linspace(0.0, 1.0, points_per_dim) for _ in range(space.dim)
+    ]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    unit = np.stack([m.ravel() for m in mesh], axis=1)
+    return [space.from_unit(row) for row in unit]
+
+
+def unique_configurations(
+    configs: list[Configuration],
+) -> list[Configuration]:
+    """Drop exact duplicates, preserving first-seen order."""
+    seen: set[tuple] = set()
+    out: list[Configuration] = []
+    for c in configs:
+        key = tuple(sorted(c.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(c)
+    return out

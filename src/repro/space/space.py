@@ -1,0 +1,121 @@
+"""Parameter-space container: configurations <-> feature vectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .parameters import Parameter
+
+#: A configuration is a plain name->value mapping.
+Configuration = dict[str, object]
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """An ordered collection of :class:`Parameter` definitions.
+
+    Provides the encode/decode layer between native tool configurations
+    and the normalized float matrices the surrogate models operate on.
+
+    Attributes:
+        parameters: The parameters, in feature-column order.
+    """
+
+    parameters: tuple[Parameter, ...]
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in {names}")
+        if not self.parameters:
+            raise ValueError("empty parameter space")
+
+    @property
+    def names(self) -> list[str]:
+        """Parameter names in column order."""
+        return [p.name for p in self.parameters]
+
+    @property
+    def dim(self) -> int:
+        """Number of parameters (feature columns)."""
+        return len(self.parameters)
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    def __getitem__(self, name: str) -> Parameter:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def validate(self, config: Configuration) -> None:
+        """Check that ``config`` covers exactly this space's domain.
+
+        Raises:
+            ValueError: On missing/extra names or out-of-domain values.
+        """
+        missing = set(self.names) - set(config)
+        extra = set(config) - set(self.names)
+        if missing or extra:
+            raise ValueError(
+                f"configuration mismatch: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+        for p in self.parameters:
+            if not p.contains(config[p.name]):
+                raise ValueError(
+                    f"{p.name}={config[p.name]!r} outside its domain"
+                )
+
+    def from_unit(self, unit_row: np.ndarray) -> Configuration:
+        """Decode one row of unit-cube samples to a configuration."""
+        if len(unit_row) != self.dim:
+            raise ValueError(
+                f"expected {self.dim} unit values, got {len(unit_row)}"
+            )
+        return {
+            p.name: p.from_unit(float(u))
+            for p, u in zip(self.parameters, unit_row)
+        }
+
+    def encode(self, config: Configuration) -> np.ndarray:
+        """Configuration -> raw feature vector (enum index, float, ...)."""
+        return np.array(
+            [p.to_feature(config[p.name]) for p in self.parameters]
+        )
+
+    def encode_many(self, configs: list[Configuration]) -> np.ndarray:
+        """Configurations -> ``(n, dim)`` raw feature matrix."""
+        return np.array([self.encode(c) for c in configs]).reshape(
+            len(configs), self.dim
+        )
+
+    def decode(self, features: np.ndarray) -> Configuration:
+        """Feature vector -> configuration (values snapped to domain)."""
+        if len(features) != self.dim:
+            raise ValueError(
+                f"expected {self.dim} features, got {len(features)}"
+            )
+        return {
+            p.name: p.from_feature(float(f))
+            for p, f in zip(self.parameters, features)
+        }
+
+    def feature_bounds(self) -> np.ndarray:
+        """Per-column (low, high) bounds as a ``(dim, 2)`` array."""
+        return np.array([p.feature_bounds() for p in self.parameters])
+
+    def normalize(self, features: np.ndarray) -> np.ndarray:
+        """Scale raw features (rows) into the unit cube per column.
+
+        Degenerate columns (zero span) map to 0.5.
+        """
+        bounds = self.feature_bounds()
+        span = bounds[:, 1] - bounds[:, 0]
+        safe = np.where(span > 0, span, 1.0)
+        out = (np.atleast_2d(features) - bounds[:, 0]) / safe
+        out = np.where(span > 0, out, 0.5)
+        return out.reshape(np.atleast_2d(features).shape)

@@ -1,0 +1,163 @@
+"""Tests for the four reimplemented baseline tuners + random search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Aspdac20Fist,
+    Dac19Recommender,
+    Mlcad19LcbBayesOpt,
+    RandomSearchTuner,
+    Tcad19ActiveLearner,
+)
+from repro.core import PoolOracle
+from repro.pareto import hypervolume_error, pareto_front
+
+ALL_TUNERS = [
+    Tcad19ActiveLearner,
+    Mlcad19LcbBayesOpt,
+    Dac19Recommender,
+    Aspdac20Fist,
+    RandomSearchTuner,
+]
+
+
+@pytest.fixture()
+def pool(synthetic_pool):
+    X, Y, Xs, Ys = synthetic_pool
+    return X, Y, Xs, Ys
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("cls", ALL_TUNERS)
+    def test_respects_budget(self, cls, pool):
+        X, Y, _, _ = pool
+        oracle = PoolOracle(Y)
+        result = cls(budget=25, seed=0).tune(X, oracle)
+        assert result.n_evaluations <= 25
+
+    @pytest.mark.parametrize("cls", ALL_TUNERS)
+    def test_front_is_nondominated_subset_of_evaluated(self, cls, pool):
+        X, Y, _, _ = pool
+        oracle = PoolOracle(Y)
+        result = cls(budget=25, seed=0).tune(X, oracle)
+        assert set(result.pareto_indices) <= set(result.evaluated_indices)
+        front = pareto_front(result.pareto_points)
+        assert len(front) == len(result.pareto_points)
+
+    @pytest.mark.parametrize("cls", ALL_TUNERS)
+    def test_points_match_pool_values(self, cls, pool):
+        X, Y, _, _ = pool
+        oracle = PoolOracle(Y)
+        result = cls(budget=20, seed=1).tune(X, oracle)
+        assert np.allclose(
+            Y[result.pareto_indices], result.pareto_points
+        )
+
+    @pytest.mark.parametrize("cls", ALL_TUNERS)
+    def test_deterministic_under_seed(self, cls, pool):
+        X, Y, _, _ = pool
+        a = cls(budget=20, seed=7).tune(X, PoolOracle(Y))
+        b = cls(budget=20, seed=7).tune(X, PoolOracle(Y))
+        assert np.array_equal(a.evaluated_indices, b.evaluated_indices)
+
+    @pytest.mark.parametrize("cls", ALL_TUNERS)
+    def test_init_indices_honoured(self, cls, pool):
+        X, Y, _, _ = pool
+        init = np.array([3, 8, 13, 21, 34])
+        result = cls(budget=20, seed=0).tune(
+            X, PoolOracle(Y), init_indices=init
+        )
+        assert set(init) <= set(result.evaluated_indices)
+
+    @pytest.mark.parametrize("cls", ALL_TUNERS)
+    def test_invalid_budget(self, cls):
+        with pytest.raises(ValueError):
+            cls(budget=0)
+
+
+class TestGuidedBeatRandom:
+    """Model-guided baselines should beat random search at equal budget."""
+
+    @pytest.mark.parametrize(
+        "cls", [Tcad19ActiveLearner, Mlcad19LcbBayesOpt, Aspdac20Fist],
+    )
+    def test_better_than_random(self, cls, pool):
+        X, Y, Xs, Ys = pool
+        golden = pareto_front(Y)
+        budget = 35
+
+        def err(result):
+            return hypervolume_error(
+                pareto_front(result.pareto_points), golden
+            )
+
+        guided = np.mean([
+            err(cls(budget=budget, seed=s).tune(
+                X, PoolOracle(Y), X_source=Xs, Y_source=Ys
+            ))
+            for s in (0, 1, 2)
+        ])
+        random = np.mean([
+            err(RandomSearchTuner(budget=budget, seed=s).tune(
+                X, PoolOracle(Y)
+            ))
+            for s in (0, 1, 2)
+        ])
+        assert guided <= random + 0.02
+
+
+class TestMethodSpecific:
+    def test_tcad_convergence_stops_early(self, pool):
+        X, Y, _, _ = pool
+        tuner = Tcad19ActiveLearner(budget=120, patience=2, seed=0)
+        result = tuner.tune(X, PoolOracle(Y))
+        assert result.stop_reason in ("converged", "budget")
+
+    def test_mlcad_kappa_validation(self):
+        with pytest.raises(ValueError):
+            Mlcad19LcbBayesOpt(kappa=-1.0)
+
+    def test_dac_one_hot_bins(self):
+        Xn = np.array([[0.0, 0.99], [0.5, 0.25]])
+        enc = Dac19Recommender._one_hot_bins(Xn, n_bins=2)
+        assert enc.shape == (2, 5)
+        assert np.all(enc[:, -1] == 1.0)
+        assert enc[0, 0] == 1.0 and enc[0, 3] == 1.0
+
+    def test_dac_uses_archive(self, pool):
+        X, Y, Xs, Ys = pool
+        with_archive = Dac19Recommender(budget=25, seed=0).tune(
+            X, PoolOracle(Y), X_source=Xs, Y_source=Ys
+        )
+        without = Dac19Recommender(budget=25, seed=0).tune(
+            X, PoolOracle(Y)
+        )
+        assert not np.array_equal(
+            with_archive.evaluated_indices, without.evaluated_indices
+        )
+
+    def test_fist_importance_from_source(self, pool):
+        X, Y, Xs, Ys = pool
+        tuner = Aspdac20Fist(budget=25, seed=0)
+        rng = np.random.default_rng(0)
+        uniform = tuner._importances(X, None, None, rng)
+        assert np.allclose(uniform, uniform[0])
+        informed = tuner._importances(X, Xs, Ys, rng)
+        assert not np.allclose(informed, informed[0])
+        assert informed.sum() == pytest.approx(1.0)
+
+    def test_fist_explore_fraction_validation(self):
+        with pytest.raises(ValueError):
+            Aspdac20Fist(explore_fraction=1.0)
+        with pytest.raises(ValueError):
+            Aspdac20Fist(epsilon=1.5)
+
+    def test_random_search_covers_budget_exactly(self, pool):
+        X, Y, _, _ = pool
+        result = RandomSearchTuner(budget=15, seed=0).tune(
+            X, PoolOracle(Y)
+        )
+        assert result.n_evaluations == 15

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "target2", "--points", "10"]
+        )
+        assert args.benchmark == "target2"
+        assert args.points == 10
+
+    def test_tune_args(self):
+        args = build_parser().parse_args([
+            "tune", "target2", "--source", "source2",
+            "--objectives", "area-delay", "--scale", "100",
+        ])
+        assert args.target == "target2"
+        assert args.objectives == "area-delay"
+
+    def test_invalid_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "bogus"])
+
+    def test_scenario_args(self):
+        args = build_parser().parse_args(
+            ["scenario", "two", "--scale", "50"]
+        )
+        assert args.which == "two"
+
+    def test_sensitivity_args(self):
+        args = build_parser().parse_args(["sensitivity", "source2"])
+        assert args.benchmark == "source2"
+
+
+class TestCommands:
+    def test_export_writes_verilog(self, tmp_path, capsys):
+        out = tmp_path / "design.v"
+        rc = main(["export", "small", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "module mac_small" in out.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_tune_reduced(self, capsys):
+        rc = main([
+            "tune", "target2", "--scale", "80",
+            "--max-iterations", "6", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "runs=" in out
+        assert "hv_error=" in out
+
+    def test_generate_with_points(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("PPATUNER_CACHE", str(tmp_path))
+        rc = main(["generate", "target2", "--points", "8"])
+        assert rc == 0
+        assert "target2" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Randomized cross-validation of the decision rules against a
+brute-force reference implementation.
+
+The production rules use a Pareto-front acceleration with a self-
+exclusion second pass; this reference checks every pair directly, so any
+divergence flags a real bug in the optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UncertaintyRegions, apply_decision_rules
+
+
+def _brute_force(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    undecided: np.ndarray,
+    pareto: np.ndarray,
+    delta: np.ndarray,
+    pareto_delta: np.ndarray,
+) -> tuple[set[int], set[int]]:
+    """Reference: O(n^2) direct application of Eq. (11)/(12)."""
+    live = undecided | pareto
+    live_ids = np.nonzero(live)[0]
+    und_ids = np.nonzero(undecided)[0]
+
+    def dominates(a, b, slack):
+        relaxed = b + slack
+        return np.all(a <= relaxed) and np.any(a < relaxed)
+
+    dropped: set[int] = set()
+    for x in und_ids:
+        for xp in live_ids:
+            if xp == x:
+                continue
+            if dominates(hi[xp], lo[x], delta):
+                dropped.add(int(x))
+                break
+
+    survivors = [i for i in live_ids if i not in dropped]
+    classified: set[int] = set()
+    for x in und_ids:
+        if x in dropped:
+            continue
+        threatened = False
+        for xp in survivors:
+            if xp == x:
+                continue
+            if dominates(lo[xp], hi[x] - pareto_delta, np.zeros_like(delta)):
+                threatened = True
+                break
+        if not threatened:
+            classified.add(int(x))
+    return dropped, classified
+
+
+@st.composite
+def decision_instances(draw):
+    n = draw(st.integers(3, 14))
+    m = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 99_999))
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0, 4, size=(n, m))
+    widths = rng.uniform(0, 1.5, size=(n, m))
+    lo = centers - widths / 2
+    hi = centers + widths / 2
+    pareto = rng.uniform(size=n) < 0.2
+    undecided = ~pareto
+    delta = rng.uniform(0, 0.3, size=m)
+    scale = draw(st.sampled_from([1.0, 3.0]))
+    return lo, hi, undecided, pareto, delta, scale * delta
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(decision_instances())
+    def test_matches_reference(self, instance):
+        lo, hi, undecided, pareto, delta, pareto_delta = instance
+        regions = UncertaintyRegions(lo=lo.copy(), hi=hi.copy())
+        got_dropped, got_pareto = apply_decision_rules(
+            regions, undecided, pareto, delta, pareto_delta=pareto_delta
+        )
+        want_dropped, want_pareto = _brute_force(
+            lo, hi, undecided, pareto, delta, pareto_delta
+        )
+        assert set(got_dropped.tolist()) == want_dropped
+        assert set(got_pareto.tolist()) == want_pareto
+
+    @settings(max_examples=60, deadline=None)
+    @given(decision_instances())
+    def test_outputs_disjoint_and_undecided_only(self, instance):
+        lo, hi, undecided, pareto, delta, pareto_delta = instance
+        regions = UncertaintyRegions(lo=lo.copy(), hi=hi.copy())
+        dropped, classified = apply_decision_rules(
+            regions, undecided, pareto, delta, pareto_delta=pareto_delta
+        )
+        assert not set(dropped.tolist()) & set(classified.tolist())
+        und = set(np.nonzero(undecided)[0].tolist())
+        assert set(dropped.tolist()) <= und
+        assert set(classified.tolist()) <= und
+
+
+class TestDegenerateCases:
+    def test_collapsed_identical_points_not_both_dropped(self):
+        """Two identical observed points: neither strictly dominates."""
+        regions = UncertaintyRegions(
+            lo=np.array([[1.0, 1.0], [1.0, 1.0]]),
+            hi=np.array([[1.0, 1.0], [1.0, 1.0]]),
+        )
+        dropped, classified = apply_decision_rules(
+            regions, np.array([True, True]), np.zeros(2, bool),
+            np.zeros(2),
+        )
+        assert len(dropped) == 0
+        assert set(classified) == {0, 1}
+
+    def test_identical_with_delta_drop_each_other(self):
+        """With δ > 0 two identical points δ-dominate each other; the
+        rule must drop at least one and never classify a dropped one."""
+        regions = UncertaintyRegions(
+            lo=np.array([[1.0, 1.0], [1.0, 1.0]]),
+            hi=np.array([[1.0, 1.0], [1.0, 1.0]]),
+        )
+        dropped, classified = apply_decision_rules(
+            regions, np.array([True, True]), np.zeros(2, bool),
+            np.full(2, 0.5),
+        )
+        assert len(dropped) >= 1
+        assert not set(dropped.tolist()) & set(classified.tolist())
+
+    def test_single_candidate_is_pareto(self):
+        regions = UncertaintyRegions(
+            lo=np.array([[1.0, 1.0]]), hi=np.array([[2.0, 2.0]])
+        )
+        dropped, classified = apply_decision_rules(
+            regions, np.array([True]), np.zeros(1, bool), np.zeros(2)
+        )
+        assert len(dropped) == 0
+        assert list(classified) == [0]
+
+    def test_one_objective(self):
+        regions = UncertaintyRegions(
+            lo=np.array([[1.0], [2.0], [0.5]]),
+            hi=np.array([[1.2], [2.5], [0.6]]),
+        )
+        dropped, classified = apply_decision_rules(
+            regions, np.ones(3, bool), np.zeros(3, bool), np.zeros(1)
+        )
+        assert 2 in classified       # clear minimum
+        assert 1 in dropped          # clearly dominated

@@ -1,0 +1,167 @@
+"""Integration tests for the experiment harness (scenarios, reports,
+figures) on reduced-scale pools."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PPATunerConfig
+from repro.experiments import (
+    PAPER_BUDGET_FRACTIONS,
+    PAPER_METHODS,
+    evaluate_outcome,
+    export_scenario_csv,
+    export_scenario_json,
+    figure2_uncertainty_shrinkage,
+    figure3_frontiers,
+    format_benchmark_table,
+    format_scenario_table,
+    make_method,
+    run_scenario,
+    scenario_to_records,
+)
+from repro.experiments.scenarios import ScenarioResult
+
+
+@pytest.fixture(scope="module")
+def mini_scenario(request):
+    """A reduced scenario over the tiny benchmark as source and target."""
+    tiny = request.getfixturevalue("tiny_benchmark")
+    return run_scenario(
+        tiny, tiny.subsample(40, seed=0), "mini", "target2",
+        methods=("MLCAD'19", "PPATuner"),
+        objective_spaces={"power-delay": ("power", "delay")},
+        n_source=30,
+        seed=0,
+        ppa_config=PPATunerConfig(max_iterations=12, seed=0),
+    )
+
+
+# getfixturevalue needs the fixture visible here.
+@pytest.fixture(scope="module")
+def tiny_benchmark(request):
+    from tests.conftest import TINY_MAC  # noqa: F401
+    return request.getfixturevalue("tiny_benchmark")
+
+
+class TestMakeMethod:
+    @pytest.mark.parametrize("name", PAPER_METHODS + ("Random",))
+    def test_constructs_every_method(self, name):
+        tuner = make_method(name, budget=30, pool_size=100, seed=0)
+        assert hasattr(tuner, "tune")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            make_method("SOTA'99", 30, 100, 0)
+
+    def test_budget_fractions_match_paper(self):
+        assert PAPER_BUDGET_FRACTIONS["MLCAD'19"]["target1"] == pytest.approx(
+            400 / 5000
+        )
+        assert PAPER_BUDGET_FRACTIONS["DAC'19"]["target2"] == pytest.approx(
+            131 / 727
+        )
+
+
+class TestRunScenario:
+    def test_outcomes_per_cell(self, mini_scenario):
+        assert len(mini_scenario.outcomes) == 2  # 2 methods x 1 space
+
+    def test_metrics_finite(self, mini_scenario):
+        for o in mini_scenario.outcomes:
+            assert np.isfinite(o.hv_error)
+            assert np.isfinite(o.adrs)
+            assert o.runs > 0
+
+    def test_get_cell(self, mini_scenario):
+        o = mini_scenario.get("PPATuner", "power-delay")
+        assert o.method == "PPATuner"
+        with pytest.raises(KeyError):
+            mini_scenario.get("PPATuner", "nonexistent")
+
+    def test_averages(self, mini_scenario):
+        avgs = mini_scenario.averages()
+        assert set(avgs) == {"MLCAD'19", "PPATuner"}
+
+
+class TestReporting:
+    def test_table_renders(self, mini_scenario):
+        table = format_scenario_table(
+            mini_scenario, methods=("MLCAD'19", "PPATuner")
+        )
+        assert "Power-Delay" in table
+        assert "Ratio" in table
+        assert "PPATuner" in table
+
+    def test_records(self, mini_scenario):
+        records = scenario_to_records(mini_scenario)
+        assert len(records) == 2
+        assert {r["method"] for r in records} == {"MLCAD'19", "PPATuner"}
+
+    def test_json_export(self, mini_scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        export_scenario_json(mini_scenario, path)
+        data = json.loads(path.read_text())
+        assert len(data) == 2
+
+    def test_csv_export(self, mini_scenario, tmp_path):
+        path = tmp_path / "scenario.csv"
+        export_scenario_csv(mini_scenario, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+
+    def test_empty_scenario_csv(self, tmp_path):
+        empty = ScenarioResult("e", "s", "t", [], 0)
+        path = tmp_path / "empty.csv"
+        export_scenario_csv(empty, path)
+        assert path.read_text() == ""
+
+    def test_benchmark_table(self, tiny_benchmark):
+        table = format_benchmark_table([tiny_benchmark.summary()])
+        assert "tiny" in table
+        assert "Points" in table
+
+
+class TestEvaluateOutcome:
+    def test_perfect_result_zero_error(self, tiny_benchmark):
+        from repro.core.result import TuningResult
+
+        names = ("power", "delay")
+        idx = tiny_benchmark.golden_indices(names)
+        result = TuningResult(
+            pareto_indices=idx,
+            pareto_points=tiny_benchmark.objectives(names)[idx],
+            n_evaluations=10,
+            n_iterations=1,
+        )
+        o = evaluate_outcome("X", "power-delay", result,
+                             tiny_benchmark, names)
+        assert o.hv_error == pytest.approx(0.0, abs=1e-12)
+        assert o.adrs == pytest.approx(0.0, abs=1e-12)
+
+
+class TestFigures:
+    def test_figure2_series(self, tiny_benchmark):
+        data = figure2_uncertainty_shrinkage(
+            tiny_benchmark, scale=40, seed=0,
+            config=PPATunerConfig(max_iterations=10, seed=0),
+        )
+        assert len(data.iterations) == len(data.max_diameters)
+        assert len(data.golden_front) >= 1
+        assert len(data.found_front) >= 1
+        # Diameter trace must shrink overall.
+        finite = [d for d in data.max_diameters if np.isfinite(d)]
+        if len(finite) >= 2:
+            assert finite[-1] <= finite[0] * 1.5
+
+    def test_figure3_series(self, mini_scenario, tiny_benchmark):
+        series = figure3_frontiers(
+            mini_scenario, tiny_benchmark.subsample(40, seed=0)
+        )
+        assert "golden" in series
+        assert "PPATuner" in series
+        for pts in series.values():
+            assert pts.ndim == 2 and pts.shape[1] == 2

@@ -1,0 +1,151 @@
+"""Integration tests for the full PD flow (the simulated tool)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.pdtool.flow import FlowConfig, PDFlow, effective_frequency_mhz
+from repro.pdtool.params import ToolParameters
+from repro.pdtool.qor import QoRReport
+
+
+class TestBasicRuns:
+    def test_reports_positive_qor(self, tiny_flow):
+        r = tiny_flow.run(ToolParameters())
+        assert r.area > 0 and r.power > 0 and r.delay > 0
+
+    def test_deterministic(self, tiny_flow):
+        p = ToolParameters(freq=1050.0)
+        assert tiny_flow.run(p) == tiny_flow.run(p)
+
+    def test_distinct_configs_distinct_qor(self, tiny_flow):
+        a = tiny_flow.run(ToolParameters(freq=950.0))
+        b = tiny_flow.run(ToolParameters(freq=1300.0))
+        assert a != b
+
+    def test_run_count_increments(self, tiny_netlist):
+        flow = PDFlow(tiny_netlist)
+        flow.run(ToolParameters())
+        flow.run(ToolParameters())
+        assert flow.run_count == 2
+
+    def test_run_batch(self, tiny_flow):
+        configs = [ToolParameters(freq=f) for f in (950.0, 1000.0)]
+        reports = tiny_flow.run_batch(configs)
+        assert len(reports) == 2
+        assert all(isinstance(r, QoRReport) for r in reports)
+
+    def test_runtime_model_scales_with_effort(self, tiny_flow):
+        std = tiny_flow.run(ToolParameters(flow_effort="standard"))
+        ext = tiny_flow.run(ToolParameters(flow_effort="extreme"))
+        assert ext.runtime_hours > std.runtime_hours
+
+
+class TestParameterDirections:
+    """Each tool knob must move QoR in the physically expected direction
+    (variation/jitter disabled so the physical gradients are visible)."""
+
+    def test_frequency_increases_power(self, quiet_flow):
+        lo = quiet_flow.run(ToolParameters(freq=900.0))
+        hi = quiet_flow.run(ToolParameters(freq=1300.0))
+        assert hi.power > lo.power
+
+    def test_utilization_decreases_area(self, quiet_flow):
+        loose = quiet_flow.run(ToolParameters(max_density_util=0.5))
+        tight = quiet_flow.run(ToolParameters(max_density_util=0.9))
+        assert tight.area < loose.area
+
+    def test_rcfactor_increases_delay_and_power(self, quiet_flow):
+        lo = quiet_flow.run(ToolParameters(place_rcfactor=1.0))
+        hi = quiet_flow.run(ToolParameters(place_rcfactor=1.3))
+        assert hi.delay > lo.delay
+        assert hi.power > lo.power
+
+    def test_uncertainty_increases_delay(self, quiet_flow):
+        lo = quiet_flow.run(ToolParameters(place_uncertainty=20.0))
+        hi = quiet_flow.run(ToolParameters(place_uncertainty=200.0))
+        assert hi.delay > lo.delay
+
+    def test_tight_transition_grows_area(self, quiet_flow):
+        loose = quiet_flow.run(ToolParameters(max_transition=0.34))
+        tight = quiet_flow.run(ToolParameters(max_transition=0.10))
+        assert tight.n_drv_violations >= loose.n_drv_violations
+        assert tight.area >= loose.area * 0.999
+
+    def test_wirelength_positive(self, quiet_flow):
+        assert quiet_flow.run(ToolParameters()).wirelength > 0
+
+    def test_cells_include_buffers(self, quiet_flow, tiny_netlist):
+        r = quiet_flow.run(ToolParameters())
+        assert r.n_cells >= tiny_netlist.n_cells
+
+
+class TestNoiseModel:
+    def test_zero_noise_disables_jitter(self, tiny_netlist):
+        quiet = PDFlow(
+            tiny_netlist,
+            FlowConfig(qor_noise=0.0, variation_amplitude=0.0),
+        )
+        noisy = PDFlow(
+            tiny_netlist,
+            FlowConfig(qor_noise=0.05, variation_amplitude=0.0),
+        )
+        pq = quiet.run(ToolParameters())
+        pn = noisy.run(ToolParameters())
+        # Same physics, different jitter envelope.
+        assert pq.delay == pytest.approx(pn.delay, rel=0.06)
+        assert pq.delay != pn.delay
+
+    def test_jitter_bounded(self, tiny_netlist):
+        amp = 0.05
+        quiet = PDFlow(
+            tiny_netlist,
+            FlowConfig(qor_noise=0.0, variation_amplitude=0.0),
+        )
+        noisy = PDFlow(
+            tiny_netlist,
+            FlowConfig(qor_noise=amp, variation_amplitude=0.0),
+        )
+        for f in (900.0, 1000.0, 1100.0):
+            a = quiet.run(ToolParameters(freq=f))
+            b = noisy.run(ToolParameters(freq=f))
+            assert abs(b.delay / a.delay - 1.0) <= amp + 1e-9
+
+    def test_variation_field_shared_within_design(self, tiny_netlist):
+        f1 = PDFlow(tiny_netlist)
+        f2 = PDFlow(tiny_netlist)
+        p = ToolParameters(freq=977.0)
+        assert f1.run(p) == f2.run(p)
+
+
+class TestQoRReport:
+    def test_objectives_extraction(self):
+        r = QoRReport(area=1.0, power=2.0, delay=3.0)
+        assert r.objectives(("power", "delay")) == (2.0, 3.0)
+        assert r.objectives(("area", "power", "delay")) == (1.0, 2.0, 3.0)
+
+    def test_objectives_unknown_raises(self):
+        r = QoRReport(area=1.0, power=2.0, delay=3.0)
+        with pytest.raises(AttributeError):
+            r.objectives(("nonexistent",))
+
+    def test_to_dict(self):
+        d = QoRReport(area=1.0, power=2.0, delay=3.0).to_dict()
+        assert d["area"] == 1.0 and "runtime_hours" in d
+
+    def test_frozen(self):
+        r = QoRReport(area=1.0, power=2.0, delay=3.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            r.area = 5.0  # type: ignore[misc]
+
+
+class TestEffectiveFrequency:
+    def test_inverse_of_delay(self):
+        r = QoRReport(area=1.0, power=1.0, delay=2.0)
+        assert effective_frequency_mhz(r, ToolParameters()) == 500.0
+
+    def test_degenerate_delay(self):
+        r = QoRReport(area=1.0, power=1.0, delay=0.0)
+        assert effective_frequency_mhz(r, ToolParameters()) == float("inf")

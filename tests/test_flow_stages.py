@@ -1,0 +1,315 @@
+"""Unit tests for placement, routing, CTS, DRV, STA and power stages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdtool.cts import synthesize_clock_tree
+from repro.pdtool.drv import repair_drv
+from repro.pdtool.params import ToolParameters
+from repro.pdtool.placement import _morton_decode, place
+from repro.pdtool.power import analyze_power
+from repro.pdtool.routing import route
+from repro.pdtool.sta import analyze_timing
+
+
+@pytest.fixture()
+def placed(compiled, default_params):
+    return place(compiled, default_params)
+
+
+@pytest.fixture()
+def routed(compiled, placed, default_params):
+    return route(compiled, placed, default_params)
+
+
+@pytest.fixture()
+def cts_result(compiled, placed, default_params, library):
+    return synthesize_clock_tree(compiled, placed, default_params, library)
+
+
+@pytest.fixture()
+def drv_result(compiled, routed, default_params, library):
+    return repair_drv(compiled, routed, default_params, library)
+
+
+class TestMorton:
+    def test_decode_first_sites(self):
+        x, y = _morton_decode(np.arange(4), bits=2)
+        assert list(zip(x.tolist(), y.tolist())) == [
+            (0, 0), (1, 0), (0, 1), (1, 1),
+        ]
+
+    def test_decode_is_bijective(self):
+        x, y = _morton_decode(np.arange(64), bits=3)
+        assert len({(a, b) for a, b in zip(x.tolist(), y.tolist())}) == 64
+
+    def test_locality(self):
+        # Consecutive Morton indices stay within a small neighbourhood.
+        x, y = _morton_decode(np.arange(256), bits=4)
+        dist = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.median(dist) <= 2
+
+
+class TestPlacement:
+    def test_all_cells_inside_die(self, placed):
+        assert np.all(placed.xy >= 0)
+        assert np.all(placed.xy[:, 0] <= placed.die_width)
+        assert np.all(placed.xy[:, 1] <= placed.die_height)
+
+    def test_utilization_drives_die_area(self, compiled):
+        tight = place(compiled, ToolParameters(max_density_util=0.9))
+        loose = place(compiled, ToolParameters(max_density_util=0.5))
+        assert loose.die_width > tight.die_width
+
+    def test_lower_util_longer_wires(self, compiled):
+        tight = place(compiled, ToolParameters(max_density_util=0.9))
+        loose = place(compiled, ToolParameters(max_density_util=0.5))
+        assert loose.total_wirelength > tight.total_wirelength
+
+    def test_uniform_density_reduces_variance(self, compiled):
+        base = place(compiled, ToolParameters(uniform_density=False))
+        uni = place(compiled, ToolParameters(uniform_density=True))
+        assert uni.bin_density.std() < base.bin_density.std()
+
+    def test_tight_place_cap_spreads(self, compiled):
+        base = place(compiled, ToolParameters(max_density_place=0.9))
+        spread = place(compiled, ToolParameters(max_density_place=0.5))
+        assert spread.total_wirelength > base.total_wirelength
+
+    def test_deterministic_under_seed(self, compiled, default_params):
+        a = place(compiled, default_params, seed=3)
+        b = place(compiled, default_params, seed=3)
+        assert np.array_equal(a.xy, b.xy)
+
+    def test_edge_lengths_nonnegative(self, placed):
+        assert np.all(placed.edge_length >= 0)
+
+    def test_density_overflow_nonnegative(self, placed):
+        assert placed.density_overflow >= 0
+
+
+class TestRouting:
+    def test_detour_at_least_one(self, routed):
+        assert routed.detour_factor >= 1.0
+
+    def test_routed_at_least_placed(self, placed, routed):
+        assert routed.total_wirelength >= placed.total_wirelength * 0.99
+
+    def test_high_effort_relieves_overflow(self, compiled, placed):
+        auto = route(compiled, placed, ToolParameters(cong_effort="AUTO"))
+        high = route(compiled, placed, ToolParameters(cong_effort="HIGH"))
+        assert high.overflow <= auto.overflow
+
+    def test_overflow_nonnegative(self, routed):
+        assert routed.overflow >= 0
+
+
+class TestCts:
+    def test_buffers_inserted(self, cts_result):
+        assert cts_result.n_clock_buffers > 0
+
+    def test_power_driven_reduces_cap(self, compiled, placed, library):
+        base = synthesize_clock_tree(
+            compiled, placed, ToolParameters(clock_power_driven=False),
+            library,
+        )
+        pd = synthesize_clock_tree(
+            compiled, placed, ToolParameters(clock_power_driven=True),
+            library,
+        )
+        assert pd.clock_tree_cap < base.clock_tree_cap
+
+    def test_power_driven_worsens_skew(self, compiled, placed, library):
+        base = synthesize_clock_tree(
+            compiled, placed, ToolParameters(clock_power_driven=False),
+            library,
+        )
+        pd = synthesize_clock_tree(
+            compiled, placed, ToolParameters(clock_power_driven=True),
+            library,
+        )
+        assert pd.skew > base.skew
+
+    def test_no_sequential_no_tree(self, library):
+        from repro.pdtool.netlist import PRIMARY_INPUT, Netlist
+
+        nl = Netlist("comb", library)
+        nl.add_input()
+        nl.add_cell("INV", [PRIMARY_INPUT])
+        compiled = nl.compile()
+        placed = place(compiled, ToolParameters())
+        result = synthesize_clock_tree(
+            compiled, placed, ToolParameters(), library
+        )
+        assert result.n_clock_buffers == 0
+        assert result.clock_tree_cap == 0.0
+
+
+class TestDrv:
+    def test_fanout_rule_binds_when_tight(self, compiled, routed,
+                                           library):
+        limit = int(compiled.fanout_count.max()) - 1
+        assert limit >= 1
+        tight = repair_drv(
+            compiled, routed, ToolParameters(max_fanout=limit), library
+        )
+        assert tight.n_violations >= 1
+        assert tight.n_buffers >= 1
+
+    def test_tighter_transition_more_buffers(self, compiled, routed,
+                                             library):
+        loose = repair_drv(
+            compiled, routed, ToolParameters(max_transition=0.34), library
+        )
+        tight = repair_drv(
+            compiled, routed, ToolParameters(max_transition=0.10), library
+        )
+        assert tight.n_buffers >= loose.n_buffers
+
+    def test_buffering_reduces_effective_load(self, compiled, routed,
+                                              library, drv_result):
+        pins = compiled.sink_load_cap()
+        violating = drv_result.repair_delay > 0
+        if violating.any():
+            assert np.all(
+                drv_result.effective_load[violating]
+                <= pins[violating] + drv_result.net_wire_cap[violating]
+                + 1e6  # effective load includes buffer pin, bounded
+            )
+
+    def test_added_area_scales_with_buffers(self, drv_result, library):
+        buf = library.variant("BUF", 4)
+        assert drv_result.added_area == pytest.approx(
+            drv_result.n_buffers * buf.area
+        )
+
+    def test_rcfactor_scales_wire_cap(self, compiled, routed, library):
+        lo = repair_drv(
+            compiled, routed, ToolParameters(place_rcfactor=1.0), library
+        )
+        hi = repair_drv(
+            compiled, routed, ToolParameters(place_rcfactor=1.3), library
+        )
+        assert hi.net_wire_cap.sum() > lo.net_wire_cap.sum()
+
+    def test_net_length_nonnegative(self, drv_result):
+        assert np.all(drv_result.net_length >= 0)
+
+
+class TestSta:
+    def test_arrivals_nonnegative(self, compiled, drv_result, cts_result,
+                                  default_params, routed):
+        t = analyze_timing(
+            compiled, drv_result, cts_result, default_params,
+            routed.routed_edge_length,
+        )
+        assert np.all(t.arrival >= 0)
+        assert t.critical_delay > 0
+
+    def test_uncertainty_adds_to_delay(self, compiled, drv_result,
+                                       cts_result, routed):
+        lo = analyze_timing(
+            compiled, drv_result, cts_result,
+            ToolParameters(place_uncertainty=20.0),
+            routed.routed_edge_length,
+        )
+        hi = analyze_timing(
+            compiled, drv_result, cts_result,
+            ToolParameters(place_uncertainty=200.0),
+            routed.routed_edge_length,
+        )
+        assert hi.critical_delay == pytest.approx(
+            lo.critical_delay + 180.0
+        )
+
+    def test_rcfactor_slows_wires(self, compiled, drv_result, cts_result,
+                                  routed):
+        lo = analyze_timing(
+            compiled, drv_result, cts_result,
+            ToolParameters(place_rcfactor=1.0),
+            routed.routed_edge_length,
+        )
+        hi = analyze_timing(
+            compiled, drv_result, cts_result,
+            ToolParameters(place_rcfactor=1.3),
+            routed.routed_edge_length,
+        )
+        assert hi.critical_delay > lo.critical_delay
+
+    def test_slack_consistent(self, compiled, drv_result, cts_result,
+                              default_params, routed):
+        t = analyze_timing(
+            compiled, drv_result, cts_result, default_params,
+            routed.routed_edge_length,
+        )
+        assert t.slack == pytest.approx(
+            default_params.clock_period_ps - t.critical_delay
+        )
+
+    def test_critical_cells_nonempty(self, compiled, drv_result,
+                                     cts_result, default_params, routed):
+        t = analyze_timing(
+            compiled, drv_result, cts_result, default_params,
+            routed.routed_edge_length,
+        )
+        assert len(t.critical_cells) > 0
+
+    def test_delay_ns_conversion(self, compiled, drv_result, cts_result,
+                                 default_params, routed):
+        t = analyze_timing(
+            compiled, drv_result, cts_result, default_params,
+            routed.routed_edge_length,
+        )
+        assert t.delay_ns == pytest.approx(t.critical_delay / 1000.0)
+
+
+class TestPower:
+    def test_components_positive(self, compiled, drv_result, cts_result,
+                                 default_params, library):
+        p = analyze_power(
+            compiled, drv_result, cts_result, default_params, library
+        )
+        assert p.switching_power > 0
+        assert p.internal_power > 0
+        assert p.leakage_power > 0
+        assert p.clock_power > 0
+
+    def test_total_is_sum(self, compiled, drv_result, cts_result,
+                          default_params, library):
+        p = analyze_power(
+            compiled, drv_result, cts_result, default_params, library
+        )
+        assert p.total_power == pytest.approx(
+            p.switching_power + p.internal_power + p.leakage_power
+            + p.clock_power
+        )
+
+    def test_power_scales_with_frequency(self, compiled, drv_result,
+                                         cts_result, library):
+        lo = analyze_power(
+            compiled, drv_result, cts_result,
+            ToolParameters(freq=800.0), library,
+        )
+        hi = analyze_power(
+            compiled, drv_result, cts_result,
+            ToolParameters(freq=1200.0), library,
+        )
+        assert hi.total_power > lo.total_power
+        # Dynamic part should scale ~linearly.
+        assert hi.switching_power == pytest.approx(
+            lo.switching_power * 1.5, rel=1e-6
+        )
+
+    def test_clock_gating_saves_power(self, compiled, drv_result,
+                                      cts_result, library):
+        base = analyze_power(
+            compiled, drv_result, cts_result,
+            ToolParameters(clock_power_driven=False), library,
+        )
+        gated = analyze_power(
+            compiled, drv_result, cts_result,
+            ToolParameters(clock_power_driven=True), library,
+        )
+        assert gated.clock_power < base.clock_power

@@ -1,0 +1,97 @@
+"""Deep tests for the n-dimensional (WFG) hypervolume path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pareto import hypervolume, pareto_front
+
+three_d_sets = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 10), st.just(3)),
+    elements=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+
+
+def _monte_carlo(pts: np.ndarray, ref: np.ndarray, n: int = 60_000) -> float:
+    lo = pts.min(axis=0)
+    rng = np.random.default_rng(0)
+    samples = rng.uniform(lo, ref, size=(n, pts.shape[1]))
+    covered = np.zeros(n, dtype=bool)
+    for p in pts:
+        covered |= np.all(samples >= p, axis=1)
+    return float(covered.mean() * np.prod(ref - lo))
+
+
+class TestWfg3d:
+    @settings(max_examples=25, deadline=5000)
+    @given(three_d_sets)
+    def test_matches_monte_carlo(self, pts):
+        ref = pts.max(axis=0) + 0.5
+        exact = hypervolume(pts, ref)
+        estimate = _monte_carlo(pts, ref)
+        box = np.prod(ref - pts.min(axis=0))
+        assert exact == pytest.approx(estimate, abs=0.05 * box + 1e-9)
+
+    def test_known_staircase(self):
+        # Three mutually non-dominated points forming a 3-D staircase.
+        pts = np.array([
+            [0.0, 1.0, 2.0],
+            [1.0, 2.0, 0.0],
+            [2.0, 0.0, 1.0],
+        ])
+        ref = np.array([3.0, 3.0, 3.0])
+        # Inclusion-exclusion by hand: each box = prod(3 - p).
+        boxes = [np.prod(ref - p) for p in pts]
+        pair_ij = np.prod(ref - np.maximum(pts[0], pts[1]))
+        pair_ik = np.prod(ref - np.maximum(pts[0], pts[2]))
+        pair_jk = np.prod(ref - np.maximum(pts[1], pts[2]))
+        triple = np.prod(ref - np.maximum.reduce(pts))
+        expected = sum(boxes) - pair_ij - pair_ik - pair_jk + triple
+        assert hypervolume(pts, ref) == pytest.approx(expected)
+
+    def test_duplicated_points_no_double_count(self):
+        pts = np.array([[1.0, 1.0, 1.0]] * 4)
+        assert hypervolume(pts, [2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_permutation_invariance(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 3, size=(8, 3))
+        ref = pts.max(axis=0) + 1.0
+        h1 = hypervolume(pts, ref)
+        h2 = hypervolume(pts[rng.permutation(8)], ref)
+        assert h1 == pytest.approx(h2)
+
+    def test_objective_permutation_invariance(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 3, size=(7, 3))
+        ref = pts.max(axis=0) + 1.0
+        perm = [2, 0, 1]
+        h1 = hypervolume(pts, ref)
+        h2 = hypervolume(pts[:, perm], ref[perm])
+        assert h1 == pytest.approx(h2)
+
+    @settings(max_examples=20, deadline=5000)
+    @given(three_d_sets)
+    def test_bounded_by_enclosing_box(self, pts):
+        ref = pts.max(axis=0) + 1.0
+        front = pareto_front(pts)
+        box = np.prod(ref - front.min(axis=0))
+        assert 0.0 <= hypervolume(pts, ref) <= box + 1e-9
+
+    def test_4d_simple(self):
+        pts = np.array([[1.0, 1.0, 1.0, 1.0]])
+        assert hypervolume(pts, [2.0, 2.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_4d_union(self):
+        pts = np.array([
+            [0.0, 1.0, 1.0, 1.0],
+            [1.0, 0.0, 1.0, 1.0],
+        ])
+        ref = np.full(4, 2.0)
+        # 2*1*1*1 each, overlap 1 -> union 3.
+        assert hypervolume(pts, ref) == pytest.approx(3.0)

@@ -1,0 +1,138 @@
+"""Unit tests for the standard-cell library model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdtool.library import CellLibrary, CellType
+
+
+class TestLibraryConstruction:
+    def test_default_library_nonempty(self, library):
+        assert len(library) > 0
+
+    def test_every_function_has_four_drives(self, library):
+        for fn in library.functions():
+            assert library.drives_for(fn) == [1, 2, 4, 8]
+
+    def test_expected_functions_present(self, library):
+        expected = {
+            "INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2",
+            "XNOR2", "AOI21", "OAI21", "MUX2", "HA", "FA", "DFF",
+            "CLKBUF",
+        }
+        assert expected <= set(library.functions())
+
+    def test_contains_by_name(self, library):
+        assert "INV_X1" in library
+        assert "NAND2_X4" in library
+        assert "FOO_X1" not in library
+
+    def test_get_unknown_raises(self, library):
+        with pytest.raises(KeyError):
+            library.get("NOT_A_CELL")
+
+    def test_variant_lookup(self, library):
+        cell = library.variant("NAND2", 4)
+        assert cell.function == "NAND2"
+        assert cell.drive == 4
+
+
+class TestDriveScaling:
+    def test_higher_drive_lower_resistance(self, library):
+        for fn in library.functions():
+            drives = library.drives_for(fn)
+            res = [library.variant(fn, d).drive_res for d in drives]
+            assert res == sorted(res, reverse=True), fn
+
+    def test_higher_drive_more_area(self, library):
+        for fn in library.functions():
+            drives = library.drives_for(fn)
+            areas = [library.variant(fn, d).area for d in drives]
+            assert areas == sorted(areas), fn
+
+    def test_higher_drive_more_leakage(self, library):
+        x1 = library.variant("INV", 1)
+        x8 = library.variant("INV", 8)
+        assert x8.leakage > x1.leakage
+
+    def test_higher_drive_more_input_cap(self, library):
+        x1 = library.variant("NAND2", 1)
+        x8 = library.variant("NAND2", 8)
+        assert x8.input_cap > x1.input_cap
+
+    def test_drive_halves_resistance(self, library):
+        x1 = library.variant("BUF", 1)
+        x2 = library.variant("BUF", 2)
+        assert x2.drive_res == pytest.approx(x1.drive_res / 2)
+
+
+class TestRelativeOrdering:
+    def test_inverter_is_smallest_combinational(self, library):
+        inv = library.variant("INV", 1)
+        for fn in ("NAND2", "XOR2", "FA", "MUX2"):
+            assert library.variant(fn, 1).area >= inv.area
+
+    def test_full_adder_slowest_simple_gate(self, library):
+        fa = library.variant("FA", 1)
+        nand = library.variant("NAND2", 1)
+        assert fa.intrinsic_delay > nand.intrinsic_delay
+
+    def test_dff_is_sequential(self, library):
+        assert library.variant("DFF", 1).is_sequential
+        assert not library.variant("INV", 1).is_sequential
+
+    def test_xor_larger_than_nand(self, library):
+        assert (
+            library.variant("XOR2", 1).area
+            > library.variant("NAND2", 1).area
+        )
+
+
+class TestUpsizeDownsize:
+    def test_upsize_steps_up(self, library):
+        cell = library.variant("INV", 1)
+        up = library.upsize(cell)
+        assert up is not None and up.drive == 2
+
+    def test_upsize_at_top_returns_none(self, library):
+        assert library.upsize(library.variant("INV", 8)) is None
+
+    def test_downsize_steps_down(self, library):
+        cell = library.variant("INV", 4)
+        down = library.downsize(cell)
+        assert down is not None and down.drive == 2
+
+    def test_downsize_at_bottom_returns_none(self, library):
+        assert library.downsize(library.variant("INV", 1)) is None
+
+    def test_roundtrip(self, library):
+        cell = library.variant("NOR2", 2)
+        assert library.downsize(library.upsize(cell)) == cell
+
+
+class TestCellType:
+    def test_frozen(self, library):
+        cell = library.variant("INV", 1)
+        with pytest.raises(AttributeError):
+            cell.area = 10.0  # type: ignore[misc]
+
+    def test_pin_counts(self, library):
+        assert library.variant("INV", 1).n_inputs == 1
+        assert library.variant("NAND2", 1).n_inputs == 2
+        assert library.variant("FA", 1).n_inputs == 3
+        assert library.variant("MUX2", 1).n_inputs == 3
+
+    def test_custom_cell(self):
+        cell = CellType("T_X1", "T", 1, 2, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        assert cell.name == "T_X1"
+        assert not cell.is_sequential
+
+    def test_positive_attributes(self, library):
+        for cell in library.cells.values():
+            assert cell.area > 0
+            assert cell.input_cap > 0
+            assert cell.drive_res > 0
+            assert cell.intrinsic_delay > 0
+            assert cell.leakage > 0
+            assert cell.internal_energy > 0

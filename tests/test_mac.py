@@ -1,0 +1,99 @@
+"""Unit tests for the MAC design generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdtool.mac import (
+    LARGE_MAC,
+    SMALL_MAC,
+    MacSpec,
+    estimate_cell_count,
+    generate_mac_netlist,
+)
+
+
+class TestGeneration:
+    def test_validates(self, tiny_netlist):
+        tiny_netlist.validate()
+
+    def test_has_registers(self, tiny_netlist):
+        counts = tiny_netlist.counts_by_function()
+        assert counts.get("DFF", 0) > 0
+
+    def test_has_multiplier_structure(self, tiny_netlist):
+        counts = tiny_netlist.counts_by_function()
+        assert counts.get("AND2", 0) > 0  # partial products
+        assert counts.get("FA", 0) > 0  # wallace compressors
+
+    def test_deterministic(self):
+        spec = MacSpec(width=4, lanes=1, acc_bits=8, name="d")
+        a = generate_mac_netlist(spec)
+        b = generate_mac_netlist(spec)
+        assert a.n_cells == b.n_cells
+        assert [i.cell.name for i in a.instances] == [
+            i.cell.name for i in b.instances
+        ]
+
+    def test_width_scales_cells(self):
+        small = generate_mac_netlist(
+            MacSpec(width=4, lanes=1, acc_bits=8, name="a")
+        )
+        big = generate_mac_netlist(
+            MacSpec(width=8, lanes=1, acc_bits=8, name="b")
+        )
+        assert big.n_cells > 2 * small.n_cells
+
+    def test_lanes_scale_cells_linearly(self):
+        one = generate_mac_netlist(
+            MacSpec(width=4, lanes=1, acc_bits=8, name="a")
+        )
+        four = generate_mac_netlist(
+            MacSpec(width=4, lanes=4, acc_bits=8, name="b")
+        )
+        # Minus the shared enable register.
+        assert four.n_cells == pytest.approx(
+            4 * (one.n_cells - 1) + 1, rel=0.02
+        )
+
+    def test_benchmark_specs_differ_in_scale(self):
+        small = generate_mac_netlist(SMALL_MAC)
+        large = generate_mac_netlist(LARGE_MAC)
+        assert large.n_cells > 2 * small.n_cells
+
+    def test_high_fanout_enable_net(self, tiny_netlist):
+        compiled = tiny_netlist.compile()
+        # The broadcast enable should be the highest-fanout net and
+        # exceed typical max_fanout limits on real benchmarks.
+        assert compiled.fanout_count.max() >= tiny_netlist.instances[
+            0
+        ].cell.n_inputs * 4
+
+    def test_primary_inputs_counted(self, tiny_netlist):
+        # 2 operands x width bits per lane + enable.
+        assert tiny_netlist.n_primary_inputs == 2 * 4 * 1 + 1
+
+    def test_estimate_within_factor_two(self):
+        spec = MacSpec(width=6, lanes=2, acc_bits=16, name="e")
+        actual = generate_mac_netlist(spec).n_cells
+        estimate = estimate_cell_count(spec)
+        assert 0.5 < estimate / actual < 2.0
+
+    def test_pipeline_stages_add_registers(self):
+        base = generate_mac_netlist(
+            MacSpec(width=4, lanes=1, acc_bits=8, pipeline_stages=1,
+                    name="p1")
+        )
+        deep = generate_mac_netlist(
+            MacSpec(width=4, lanes=1, acc_bits=8, pipeline_stages=3,
+                    name="p3")
+        )
+        assert (
+            deep.counts_by_function()["DFF"]
+            > base.counts_by_function()["DFF"]
+        )
+
+    def test_acyclic_by_construction(self, tiny_netlist):
+        for idx, inst in enumerate(tiny_netlist.instances):
+            for f in inst.fanins:
+                assert f < idx or f == -1

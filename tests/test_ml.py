@@ -1,0 +1,190 @@
+"""Tests for the from-scratch ML substrate (trees, boosting, ALS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import FeatureALS, GradientBoostingRegressor, RegressionTree
+
+rng = np.random.default_rng(0)
+
+
+class TestRegressionTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_constant_target_single_leaf(self):
+        X = rng.uniform(size=(20, 3))
+        tree = RegressionTree().fit(X, np.full(20, 2.5))
+        assert tree.depth == 0
+        assert np.allclose(tree.predict(X), 2.5)
+
+    def test_depth_limit_respected(self):
+        X = rng.uniform(size=(200, 2))
+        y = rng.normal(size=200)
+        tree = RegressionTree(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self):
+        X = rng.uniform(size=(10, 1))
+        y = rng.normal(size=10)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=5).fit(X, y)
+
+        def leaf_sizes(node):
+            if node.feature is None:
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree._root)) >= 5
+
+    def test_importances_identify_relevant_feature(self):
+        X = rng.uniform(size=(150, 4))
+        y = 5.0 * X[:, 2] + 0.01 * rng.normal(size=150)
+        tree = RegressionTree(max_depth=4).fit(X, y)
+        assert tree.feature_importances_.argmax() == 2
+
+    def test_importances_sum_to_one(self):
+        X = rng.uniform(size=(80, 3))
+        y = X[:, 0] + X[:, 1]
+        tree = RegressionTree(max_depth=4).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch(self):
+        tree = RegressionTree().fit(rng.uniform(size=(10, 3)),
+                                    rng.normal(size=10))
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((1, 2)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_reduces_training_error_vs_mean(self):
+        X = rng.uniform(size=(100, 2))
+        y = np.sin(5 * X[:, 0]) + X[:, 1]
+        tree = RegressionTree(max_depth=5).fit(X, y)
+        sse_tree = np.sum((tree.predict(X) - y) ** 2)
+        sse_mean = np.sum((y - y.mean()) ** 2)
+        assert sse_tree < 0.3 * sse_mean
+
+
+class TestGradientBoosting:
+    def test_improves_with_rounds(self):
+        X = rng.uniform(size=(120, 3))
+        y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2
+        model = GradientBoostingRegressor(
+            n_estimators=60, seed=0
+        ).fit(X, y)
+        curve = model.staged_score(X, y)
+        assert curve[-1] < curve[0]
+
+    def test_training_fit_quality(self):
+        X = rng.uniform(size=(150, 3))
+        y = 2 * X[:, 0] - X[:, 1] + 0.5 * X[:, 2]
+        model = GradientBoostingRegressor(
+            n_estimators=80, seed=0
+        ).fit(X, y)
+        rmse = np.sqrt(np.mean((model.predict(X) - y) ** 2))
+        assert rmse < 0.1 * y.std()
+
+    def test_importances_identify_relevant(self):
+        X = rng.uniform(size=(200, 5))
+        y = 3.0 * X[:, 4] + 0.05 * rng.normal(size=200)
+        model = GradientBoostingRegressor(
+            n_estimators=30, seed=0
+        ).fit(X, y)
+        assert model.feature_importances_.argmax() == 4
+
+    def test_subsample_mode(self):
+        X = rng.uniform(size=(100, 2))
+        y = X.sum(axis=1)
+        model = GradientBoostingRegressor(
+            n_estimators=30, subsample=0.6, seed=0
+        ).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+    def test_deterministic_under_seed(self):
+        X = rng.uniform(size=(60, 2))
+        y = X.sum(axis=1)
+        a = GradientBoostingRegressor(n_estimators=20, seed=5).fit(X, y)
+        b = GradientBoostingRegressor(n_estimators=20, seed=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+
+class TestFeatureALS:
+    def _toy(self, n=60, d=5, m=3):
+        X = rng.uniform(size=(n, d))
+        W_true = rng.normal(size=(2, d))
+        V_true = rng.normal(size=(m, 2))
+        Y = (X @ W_true.T) @ V_true.T
+        return X, Y
+
+    def test_recovers_bilinear_structure(self):
+        X, Y = self._toy()
+        rows = np.repeat(np.arange(40), 3)
+        cols = np.tile(np.arange(3), 40)
+        model = FeatureALS(rank=3, reg=1e-3, seed=0).fit(
+            X, np.column_stack([rows, cols]), Y[rows, cols]
+        )
+        pred = model.predict_all(X[40:])
+        resid = np.abs(pred - Y[40:]).mean()
+        assert resid < 0.2 * np.abs(Y).mean()
+
+    def test_partial_observations(self):
+        X, Y = self._toy()
+        obs = np.array([[i, i % 3] for i in range(50)])
+        model = FeatureALS(rank=3, seed=0).fit(
+            X, obs, Y[obs[:, 0], obs[:, 1]]
+        )
+        assert model.predict(X, 0).shape == (60,)
+
+    def test_predict_unknown_metric(self):
+        X, Y = self._toy()
+        obs = np.array([[0, 0], [1, 1], [2, 2]])
+        model = FeatureALS(seed=0).fit(X, obs, Y[[0, 1, 2], [0, 1, 2]])
+        with pytest.raises(IndexError):
+            model.predict(X, 7)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            FeatureALS().predict(np.zeros((1, 2)), 0)
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureALS().fit(
+                np.zeros((3, 2)), np.empty((0, 2)), np.empty(0)
+            )
+
+    def test_scale_invariance_of_fit(self):
+        X, Y = self._toy()
+        rows = np.arange(50)
+        cols = rows % 3
+        obs = np.column_stack([rows, cols])
+        a = FeatureALS(rank=2, seed=0).fit(X, obs, Y[rows, cols])
+        b = FeatureALS(rank=2, seed=0).fit(
+            X, obs, 100.0 * Y[rows, cols] + 7.0
+        )
+        pa = a.predict_all(X)
+        pb = b.predict_all(X)
+        assert np.allclose(pb, 100.0 * pa + 7.0, rtol=0.05,
+                           atol=0.5)

@@ -1,0 +1,167 @@
+"""Unit tests for the netlist representation and compilation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdtool.library import CellLibrary
+from repro.pdtool.netlist import PRIMARY_INPUT, Netlist
+
+
+@pytest.fixture()
+def nl(library) -> Netlist:
+    return Netlist("t", library)
+
+
+def _chain(nl: Netlist, length: int) -> list[int]:
+    """Build an inverter chain fed by one primary input."""
+    nl.add_input()
+    ids = [nl.add_cell("INV", [PRIMARY_INPUT])]
+    for _ in range(length - 1):
+        ids.append(nl.add_cell("INV", [ids[-1]]))
+    return ids
+
+
+class TestConstruction:
+    def test_add_cell_returns_sequential_ids(self, nl):
+        nl.add_input()
+        a = nl.add_cell("INV", [PRIMARY_INPUT])
+        b = nl.add_cell("INV", [a])
+        assert (a, b) == (0, 1)
+
+    def test_pin_count_enforced(self, nl):
+        nl.add_input()
+        with pytest.raises(ValueError, match="needs 2 fanins"):
+            nl.add_cell("NAND2", [PRIMARY_INPUT])
+
+    def test_forward_reference_rejected(self, nl):
+        nl.add_input()
+        with pytest.raises(ValueError, match="not an existing instance"):
+            nl.add_cell("INV", [5])
+
+    def test_default_names(self, nl):
+        nl.add_input()
+        idx = nl.add_cell("INV", [PRIMARY_INPUT])
+        assert nl.instances[idx].name == "U0"
+
+    def test_explicit_name(self, nl):
+        nl.add_input()
+        idx = nl.add_cell("INV", [PRIMARY_INPUT], name="my_inv")
+        assert nl.instances[idx].name == "my_inv"
+
+    def test_cell_area_sums(self, nl, library):
+        _chain(nl, 3)
+        assert nl.cell_area() == pytest.approx(
+            3 * library.variant("INV", 1).area
+        )
+
+    def test_counts_by_function(self, nl):
+        nl.add_input()
+        nl.add_cell("INV", [PRIMARY_INPUT])
+        nl.add_cell("INV", [0])
+        nl.add_cell("NAND2", [0, 1])
+        assert nl.counts_by_function() == {"INV": 2, "NAND2": 1}
+
+    def test_validate_passes_on_good_netlist(self, nl):
+        _chain(nl, 4)
+        nl.validate()
+
+    def test_validate_requires_inputs(self, nl):
+        nl.instances.append(nl.instances)  # corrupt; never mind type
+        nl.instances.clear()
+        nl.add_input()
+        nl.add_cell("INV", [PRIMARY_INPUT])
+        nl.n_primary_inputs = 0
+        with pytest.raises(ValueError, match="primary inputs"):
+            nl.validate()
+
+
+class TestCompile:
+    def test_levels_of_chain(self, nl):
+        ids = _chain(nl, 5)
+        c = nl.compile()
+        assert [int(c.level[i]) for i in ids] == [0, 1, 2, 3, 4]
+
+    def test_levels_partition_cells(self, nl):
+        _chain(nl, 5)
+        c = nl.compile()
+        all_ids = np.sort(np.concatenate(c.levels))
+        assert np.array_equal(all_ids, np.arange(nl.n_cells))
+
+    def test_fanout_counts(self, nl):
+        nl.add_input()
+        a = nl.add_cell("INV", [PRIMARY_INPUT])
+        nl.add_cell("INV", [a])
+        nl.add_cell("INV", [a])
+        nl.add_cell("NAND2", [a, 1])
+        c = nl.compile()
+        assert c.fanout_count[a] == 3
+
+    def test_sequential_cells_are_level_zero(self, nl):
+        nl.add_input()
+        a = nl.add_cell("INV", [PRIMARY_INPUT])
+        b = nl.add_cell("INV", [a])
+        dff = nl.add_cell("DFF", [b])
+        after = nl.add_cell("INV", [dff])
+        c = nl.compile()
+        assert c.level[dff] == 0
+        assert c.level[after] == 1
+
+    def test_is_seq_mask(self, nl):
+        nl.add_input()
+        a = nl.add_cell("INV", [PRIMARY_INPUT])
+        d = nl.add_cell("DFF", [a])
+        c = nl.compile()
+        assert not c.is_seq[a]
+        assert c.is_seq[d]
+
+    def test_csr_structure(self, nl):
+        nl.add_input()
+        a = nl.add_cell("INV", [PRIMARY_INPUT])
+        b = nl.add_cell("NAND2", [a, a])
+        c = nl.compile()
+        assert c.fanin_ptr[-1] == 3  # 1 + 2 pins
+        assert list(c.fanin_idx[c.fanin_ptr[b]:c.fanin_ptr[b + 1]]) == [a, a]
+
+    def test_cell_attribute_arrays(self, nl, library):
+        _chain(nl, 3)
+        c = nl.compile()
+        inv = library.variant("INV", 1)
+        assert np.allclose(c.area, inv.area)
+        assert np.allclose(c.drive_res, inv.drive_res)
+
+    def test_sink_load_cap_chain(self, nl, library):
+        ids = _chain(nl, 3)
+        c = nl.compile()
+        inv = library.variant("INV", 1)
+        load = c.sink_load_cap()
+        # Middle cell drives exactly one INV pin; last drives nothing.
+        assert load[ids[0]] == pytest.approx(inv.input_cap)
+        assert load[ids[-1]] == 0.0
+
+    def test_sink_load_cap_multi_fanout(self, nl, library):
+        nl.add_input()
+        a = nl.add_cell("INV", [PRIMARY_INPUT])
+        nl.add_cell("NAND2", [a, a])
+        c = nl.compile()
+        nand = library.variant("NAND2", 1)
+        assert c.sink_load_cap()[a] == pytest.approx(2 * nand.input_cap)
+
+    def test_refresh_after_master_change(self, nl, library):
+        ids = _chain(nl, 2)
+        c = nl.compile()
+        old_area = c.area[ids[0]]
+        nl.instances[ids[0]].cell = library.variant("INV", 8)
+        c.refresh_cell_arrays()
+        assert c.area[ids[0]] > old_area
+
+    def test_n_cells_property(self, nl):
+        _chain(nl, 7)
+        assert nl.compile().n_cells == 7
+
+    def test_empty_levels_absent(self, nl):
+        _chain(nl, 4)
+        c = nl.compile()
+        for level_ids in c.levels:
+            assert len(level_ids) > 0

@@ -1,0 +1,91 @@
+"""End-to-end integration: tuners driving the live simulated tool.
+
+The benchmark protocol uses precomputed tables; these tests exercise the
+other deployment mode — FlowOracle invoking the PD flow on demand — for
+both PPATuner and a baseline, including run accounting consistency
+between the oracle and the tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Mlcad19LcbBayesOpt
+from repro.core import FlowOracle, PPATuner, PPATunerConfig
+from repro.pareto import non_dominated_mask
+from repro.space import (
+    EnumParameter,
+    FloatParameter,
+    ParameterSpace,
+    latin_hypercube,
+)
+
+
+@pytest.fixture(scope="module")
+def live_setup(request):
+    flow = request.getfixturevalue("tiny_flow")
+    space = ParameterSpace((
+        FloatParameter("freq", 900.0, 1300.0),
+        EnumParameter("flow_effort", ("standard", "express", "extreme")),
+        FloatParameter("max_density_util", 0.55, 0.95),
+        FloatParameter("max_allowed_delay", 0.0, 0.2),
+    ))
+    configs = latin_hypercube(space, 80, seed=2)
+    X = space.encode_many(configs)
+    return flow, space, configs, X
+
+
+@pytest.fixture(scope="module")
+def tiny_flow(request):
+    return request.getfixturevalue("tiny_flow")
+
+
+class TestPpatunerLive:
+    def test_tunes_against_live_tool(self, live_setup):
+        flow, _, configs, X = live_setup
+        oracle = FlowOracle(flow, configs, ("power", "delay"))
+        before = flow.run_count
+        result = PPATuner(
+            PPATunerConfig(max_iterations=12, seed=0)
+        ).tune(X, oracle)
+        assert len(result.pareto_indices) >= 1
+        # Oracle evaluations are real tool runs (cached per config).
+        assert flow.run_count - before >= oracle.n_evaluations > 0
+
+    def test_front_points_are_real_tool_outputs(self, live_setup):
+        flow, _, configs, X = live_setup
+        oracle = FlowOracle(flow, configs, ("area", "power"))
+        result = PPATuner(
+            PPATunerConfig(max_iterations=10, seed=1)
+        ).tune(X, oracle)
+        from repro.pdtool import ToolParameters
+
+        for idx, point in zip(
+            result.pareto_indices, result.pareto_points
+        ):
+            report = flow.run(
+                ToolParameters.from_dict(dict(configs[int(idx)]))
+            )
+            assert point[0] == pytest.approx(report.area)
+            assert point[1] == pytest.approx(report.power)
+
+
+class TestBaselineLive:
+    def test_bo_against_live_tool(self, live_setup):
+        flow, _, configs, X = live_setup
+        oracle = FlowOracle(flow, configs, ("power", "delay"))
+        result = Mlcad19LcbBayesOpt(budget=15, seed=0).tune(X, oracle)
+        assert result.n_evaluations == 15
+        assert non_dominated_mask(result.pareto_points).all()
+
+
+class TestOracleCaching:
+    def test_repeat_evaluations_do_not_rerun_tool(self, live_setup):
+        flow, _, configs, _ = live_setup
+        oracle = FlowOracle(flow, configs, ("power", "delay"))
+        oracle.evaluate(3)
+        runs_after_first = flow.run_count
+        v2 = oracle.evaluate(3)
+        assert flow.run_count == runs_after_first
+        assert np.isfinite(v2).all()

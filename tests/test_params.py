@@ -1,0 +1,110 @@
+"""Unit tests for the tool-parameter schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdtool.params import (
+    CONG_EFFORT_LEVELS,
+    FLOW_EFFORT_LEVELS,
+    TIMING_EFFORT_LEVELS,
+    ToolParameters,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ToolParameters()
+
+    @pytest.mark.parametrize("value", ["bogus", "", "EXTREME"])
+    def test_bad_flow_effort(self, value):
+        with pytest.raises(ValueError, match="flow_effort"):
+            ToolParameters(flow_effort=value)
+
+    def test_bad_timing_effort(self):
+        with pytest.raises(ValueError, match="timing_effort"):
+            ToolParameters(timing_effort="low")
+
+    def test_bad_cong_effort(self):
+        with pytest.raises(ValueError, match="cong_effort"):
+            ToolParameters(cong_effort="auto")
+
+    @pytest.mark.parametrize("freq", [0.0, -100.0])
+    def test_bad_freq(self, freq):
+        with pytest.raises(ValueError, match="freq"):
+            ToolParameters(freq=freq)
+
+    @pytest.mark.parametrize("util", [0.0, 1.5, -0.2])
+    def test_bad_util(self, util):
+        with pytest.raises(ValueError):
+            ToolParameters(max_density_util=util)
+
+    def test_util_of_one_allowed(self):
+        ToolParameters(max_density_util=1.0)
+
+    def test_negative_rcfactor_rejected(self):
+        with pytest.raises(ValueError, match="place_rcfactor"):
+            ToolParameters(place_rcfactor=-1.0)
+
+    def test_zero_fanout_rejected(self):
+        with pytest.raises(ValueError, match="max_fanout"):
+            ToolParameters(max_fanout=0)
+
+    def test_zero_allowed_delay_fine(self):
+        ToolParameters(max_allowed_delay=0.0)
+
+
+class TestDerived:
+    def test_clock_period(self):
+        assert ToolParameters(freq=1000.0).clock_period_ps == 1000.0
+        assert ToolParameters(freq=500.0).clock_period_ps == 2000.0
+
+    def test_effort_levels(self):
+        p = ToolParameters(
+            flow_effort="extreme", timing_effort="high",
+            cong_effort="HIGH",
+        )
+        assert p.flow_effort_level == 2
+        assert p.timing_effort_level == 1
+        assert p.cong_effort_level == 2
+
+    def test_level_constants_ordering(self):
+        assert FLOW_EFFORT_LEVELS[0] == "standard"
+        assert FLOW_EFFORT_LEVELS[-1] == "extreme"
+        assert TIMING_EFFORT_LEVELS == ("medium", "high")
+        assert CONG_EFFORT_LEVELS[0] == "AUTO"
+
+
+class TestConversion:
+    def test_replace_changes_one_field(self):
+        p = ToolParameters()
+        q = p.replace(freq=1200.0)
+        assert q.freq == 1200.0
+        assert q.max_fanout == p.max_fanout
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            ToolParameters().replace(freq=-1.0)
+
+    def test_roundtrip_dict(self):
+        p = ToolParameters(freq=1111.0, uniform_density=True)
+        assert ToolParameters.from_dict(p.to_dict()) == p
+
+    def test_from_partial_dict(self):
+        p = ToolParameters.from_dict({"freq": 900.0})
+        assert p.freq == 900.0
+        assert p.max_fanout == ToolParameters().max_fanout
+
+    def test_from_dict_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown tool parameters"):
+            ToolParameters.from_dict({"frequency": 900.0})
+
+    def test_frozen(self):
+        p = ToolParameters()
+        with pytest.raises(AttributeError):
+            p.freq = 1.0  # type: ignore[misc]
+
+    def test_to_dict_covers_all_fields(self):
+        d = ToolParameters().to_dict()
+        assert len(d) == 15
+        assert "max_density_place" in d and "max_density_util" in d

@@ -1,0 +1,121 @@
+"""Tests for critical-path extraction and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdtool.cts import synthesize_clock_tree
+from repro.pdtool.drv import repair_drv
+from repro.pdtool.params import ToolParameters
+from repro.pdtool.paths import (
+    extract_critical_paths,
+    format_path_report,
+    install_report_context,
+)
+from repro.pdtool.placement import place
+from repro.pdtool.routing import route
+from repro.pdtool.sta import analyze_timing
+
+
+@pytest.fixture()
+def timing_setup(compiled, library):
+    params = ToolParameters()
+    placed = place(compiled, params)
+    routed = route(compiled, placed, params)
+    cts = synthesize_clock_tree(compiled, placed, params, library)
+    drv = repair_drv(compiled, routed, params, library)
+    timing = analyze_timing(
+        compiled, drv, cts, params, routed.routed_edge_length
+    )
+    return compiled, timing
+
+
+class TestExtraction:
+    def test_paths_end_at_sequential(self, timing_setup):
+        compiled, timing = timing_setup
+        for path in extract_critical_paths(compiled, timing, 3):
+            assert compiled.is_seq[path.endpoint]
+
+    def test_worst_first_ordering(self, timing_setup):
+        compiled, timing = timing_setup
+        paths = extract_critical_paths(compiled, timing, 5)
+        arrivals = [p.arrival for p in paths]
+        assert arrivals == sorted(arrivals, reverse=True)
+
+    def test_worst_path_matches_sta(self, timing_setup):
+        compiled, timing = timing_setup
+        paths = extract_critical_paths(compiled, timing, 1)
+        worst = timing.data_arrival[compiled.is_seq].max()
+        assert paths[0].arrival == pytest.approx(worst)
+
+    def test_path_arrivals_monotone(self, timing_setup):
+        compiled, timing = timing_setup
+        path = extract_critical_paths(compiled, timing, 1)[0]
+        arrivals = timing.arrival[list(path.cells)]
+        assert np.all(np.diff(arrivals) >= -1e-9)
+
+    def test_path_starts_at_startpoint(self, timing_setup):
+        compiled, timing = timing_setup
+        path = extract_critical_paths(compiled, timing, 1)[0]
+        first = path.cells[0]
+        # The chain starts at a register or a primary-input-fed cell.
+        lo, hi = compiled.fanin_ptr[first], compiled.fanin_ptr[first + 1]
+        drivers = compiled.fanin_idx[lo:hi]
+        assert compiled.is_seq[first] or np.all(drivers < 0) or (
+            len(path.cells) >= 1
+        )
+
+    def test_path_connectivity(self, timing_setup):
+        compiled, timing = timing_setup
+        path = extract_critical_paths(compiled, timing, 1)[0]
+        chain = list(path.cells) + [path.endpoint]
+        for a, b in zip(chain, chain[1:]):
+            lo, hi = compiled.fanin_ptr[b], compiled.fanin_ptr[b + 1]
+            assert a in compiled.fanin_idx[lo:hi]
+
+    def test_depth(self, timing_setup):
+        compiled, timing = timing_setup
+        path = extract_critical_paths(compiled, timing, 1)[0]
+        assert path.depth == len(path.cells) > 1
+
+    def test_n_paths_validation(self, timing_setup):
+        compiled, timing = timing_setup
+        with pytest.raises(ValueError):
+            extract_critical_paths(compiled, timing, 0)
+
+    def test_no_sequential_no_paths(self, library):
+        from repro.pdtool.netlist import PRIMARY_INPUT, Netlist
+
+        nl = Netlist("comb", library)
+        nl.add_input()
+        nl.add_cell("INV", [PRIMARY_INPUT])
+        compiled = nl.compile()
+        params = ToolParameters()
+        placed = place(compiled, params)
+        routed = route(compiled, placed, params)
+        cts = synthesize_clock_tree(compiled, placed, params, library)
+        drv = repair_drv(compiled, routed, params, library)
+        timing = analyze_timing(
+            compiled, drv, cts, params, routed.routed_edge_length
+        )
+        assert extract_critical_paths(compiled, timing) == []
+
+
+class TestReport:
+    def test_report_renders(self, timing_setup):
+        compiled, timing = timing_setup
+        install_report_context(compiled, timing)
+        paths = extract_critical_paths(compiled, timing, 2)
+        report = format_path_report(compiled, paths)
+        assert "Path 1" in report
+        assert "arrival=" in report
+        assert "slack=" in report
+
+    def test_report_lists_cells(self, timing_setup):
+        compiled, timing = timing_setup
+        install_report_context(compiled, timing)
+        paths = extract_critical_paths(compiled, timing, 1)
+        report = format_path_report(compiled, paths)
+        # One line per path cell plus a header.
+        assert len(report.splitlines()) == 1 + paths[0].depth

@@ -1,0 +1,66 @@
+"""Tests for the tool-style report formatters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdtool.params import ToolParameters
+from repro.pdtool.qor import QoRReport
+from repro.pdtool.reports import format_comparison, format_qor_report
+
+
+@pytest.fixture()
+def report() -> QoRReport:
+    return QoRReport(
+        area=1234.5, power=1.75, delay=0.98, slack_ns=0.02,
+        wirelength=8000.0, n_cells=2000, n_drv_violations=3,
+        congestion_overflow=0.01, runtime_hours=2.5,
+    )
+
+
+class TestQorReport:
+    def test_contains_metrics(self, report):
+        text = format_qor_report(report, design_name="mac")
+        assert "mac" in text
+        assert "1234.50" in text
+        assert "1.7500" in text
+        assert "0.9800" in text
+
+    def test_params_echoed(self, report):
+        text = format_qor_report(report, ToolParameters(freq=1111.0))
+        assert "freq" in text
+        assert "1111.0" in text
+
+    def test_without_params_no_parameter_block(self, report):
+        text = format_qor_report(report)
+        assert "Parameters" not in text
+
+
+class TestComparison:
+    def test_deltas_vs_baseline(self, report):
+        other = QoRReport(area=report.area * 1.1, power=report.power,
+                          delay=report.delay * 0.9)
+        text = format_comparison([("base", report), ("opt", other)])
+        assert "+10.0%" in text
+        assert "-10.0%" in text
+        assert "+0.0%" in text
+
+    def test_custom_baseline(self, report):
+        other = QoRReport(area=2 * report.area, power=1.0, delay=1.0)
+        text = format_comparison(
+            [("a", report), ("b", other)], baseline=1
+        )
+        assert "-50.0%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_comparison([])
+
+    def test_bad_baseline_rejected(self, report):
+        with pytest.raises(ValueError):
+            format_comparison([("a", report)], baseline=5)
+
+    def test_zero_reference_handled(self, report):
+        zero = QoRReport(area=0.0, power=0.0, delay=0.0)
+        text = format_comparison([("z", zero), ("a", report)])
+        assert "n/a" in text

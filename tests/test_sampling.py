@@ -1,0 +1,128 @@
+"""Tests for Latin-hypercube and other sampling schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.space import (
+    FloatParameter,
+    IntParameter,
+    ParameterSpace,
+    grid_sample,
+    latin_hypercube,
+    random_sample,
+    unique_configurations,
+)
+
+
+@pytest.fixture()
+def cont_space() -> ParameterSpace:
+    return ParameterSpace((
+        FloatParameter("a", 0.0, 1.0),
+        FloatParameter("b", -5.0, 5.0),
+        FloatParameter("c", 100.0, 200.0),
+    ))
+
+
+class TestLatinHypercube:
+    def test_count(self, cont_space):
+        assert len(latin_hypercube(cont_space, 37, seed=0)) == 37
+
+    def test_stratification(self, cont_space):
+        """Each of n strata per dimension is hit exactly once."""
+        n = 50
+        configs = latin_hypercube(cont_space, n, seed=1)
+        X = cont_space.encode_many(configs)
+        Xn = cont_space.normalize(X)
+        for j in range(cont_space.dim):
+            strata = np.floor(Xn[:, j] * n).astype(int)
+            strata = np.clip(strata, 0, n - 1)
+            assert len(np.unique(strata)) == n, f"dim {j}"
+
+    def test_deterministic_under_seed(self, cont_space):
+        a = latin_hypercube(cont_space, 10, seed=5)
+        b = latin_hypercube(cont_space, 10, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self, cont_space):
+        a = latin_hypercube(cont_space, 10, seed=5)
+        b = latin_hypercube(cont_space, 10, seed=6)
+        assert a != b
+
+    def test_all_in_domain(self, cont_space):
+        for config in latin_hypercube(cont_space, 25, seed=2):
+            cont_space.validate(config)
+
+    def test_n_zero_rejected(self, cont_space):
+        with pytest.raises(ValueError):
+            latin_hypercube(cont_space, 0)
+
+    def test_single_point(self, cont_space):
+        configs = latin_hypercube(cont_space, 1, seed=0)
+        cont_space.validate(configs[0])
+
+    def test_better_coverage_than_random(self, cont_space):
+        """LHS marginal coverage beats random sampling on max-gap."""
+        n = 40
+        lhs = cont_space.normalize(cont_space.encode_many(
+            latin_hypercube(cont_space, n, seed=3)
+        ))
+        rnd = cont_space.normalize(cont_space.encode_many(
+            random_sample(cont_space, n, seed=3)
+        ))
+
+        def max_gap(col):
+            s = np.sort(col)
+            return np.max(np.diff(np.concatenate([[0.0], s, [1.0]])))
+
+        lhs_gaps = np.mean([max_gap(lhs[:, j]) for j in range(3)])
+        rnd_gaps = np.mean([max_gap(rnd[:, j]) for j in range(3)])
+        assert lhs_gaps < rnd_gaps
+
+
+class TestRandomSample:
+    def test_count_and_domain(self, cont_space):
+        configs = random_sample(cont_space, 20, seed=0)
+        assert len(configs) == 20
+        for c in configs:
+            cont_space.validate(c)
+
+    def test_seeded(self, cont_space):
+        assert random_sample(cont_space, 5, seed=1) == random_sample(
+            cont_space, 5, seed=1
+        )
+
+
+class TestGridSample:
+    def test_full_factorial_count(self):
+        space = ParameterSpace((
+            FloatParameter("a", 0.0, 1.0), FloatParameter("b", 0.0, 1.0),
+        ))
+        assert len(grid_sample(space, 4)) == 16
+
+    def test_includes_corners(self):
+        space = ParameterSpace((FloatParameter("a", 0.0, 2.0),))
+        values = {c["a"] for c in grid_sample(space, 3)}
+        assert values == {0.0, 1.0, 2.0}
+
+    def test_too_few_points_rejected(self):
+        space = ParameterSpace((FloatParameter("a", 0.0, 1.0),))
+        with pytest.raises(ValueError):
+            grid_sample(space, 1)
+
+
+class TestUniqueConfigurations:
+    def test_deduplicates(self):
+        configs = [{"a": 1}, {"a": 1}, {"a": 2}]
+        assert unique_configurations(configs) == [{"a": 1}, {"a": 2}]
+
+    def test_preserves_order(self):
+        configs = [{"a": 2}, {"a": 1}, {"a": 2}]
+        assert unique_configurations(configs) == [{"a": 2}, {"a": 1}]
+
+    def test_discretized_space_dedup(self):
+        space = ParameterSpace((IntParameter("i", 0, 2),))
+        configs = latin_hypercube(space, 30, seed=0)
+        unique = unique_configurations(configs)
+        assert len(unique) == 3

@@ -1,0 +1,68 @@
+"""Tests for the Scenario Three (mixed-archive) experiment module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario_three import (
+    ScenarioThreeOutcome,
+    format_scenario_three,
+)
+
+
+class TestOutcomeFormatting:
+    def test_format_with_lambdas(self):
+        outcomes = [
+            ScenarioThreeOutcome(
+                "related-only", 0.1, 0.05, 40, [[0.6], [0.7]]
+            ),
+            ScenarioThreeOutcome(
+                "multi-source", 0.12, 0.06, 42,
+                [[0.6, 0.01], [0.5, -0.02]],
+            ),
+            ScenarioThreeOutcome("no-transfer", 0.2, 0.1, 60, []),
+        ]
+        text = format_scenario_three(outcomes)
+        assert "related-only" in text
+        assert "+0.60" in text
+        assert "-0.02" in text
+        # No-transfer row renders a dash for lambdas.
+        assert text.splitlines()[-1].rstrip().endswith("-")
+
+    def test_columns_aligned(self):
+        outcomes = [
+            ScenarioThreeOutcome("a", 0.1, 0.05, 40, []),
+            ScenarioThreeOutcome("bbbbbb", 0.2, 0.15, 140, []),
+        ]
+        lines = format_scenario_three(outcomes).splitlines()
+        assert lines[0].startswith("variant")
+        assert len(lines) == 3
+
+
+class TestScenarioThreeReduced:
+    """End-to-end at a toy scale (real benchmarks are bench territory)."""
+
+    def test_variants_complete(self, monkeypatch, tiny_benchmark):
+        import repro.experiments.scenario_three as s3
+
+        def fake_generate(name):
+            if name == "source2":
+                return tiny_benchmark
+            return tiny_benchmark.subsample(40, seed=1)
+
+        monkeypatch.setattr(s3, "generate_benchmark", fake_generate)
+        outcomes = s3.scenario_three(
+            n_source=20, max_iterations=6, seed=0
+        )
+        assert [o.variant for o in outcomes] == [
+            "related-only", "multi-source", "decoy-only", "no-transfer",
+        ]
+        for o in outcomes:
+            assert np.isfinite(o.hv_error)
+            assert o.runs > 0
+        # Multi-source variant reports two lambdas per objective.
+        multi = outcomes[1]
+        assert all(len(per_obj) == 2 for per_obj in multi.lambdas)
+        # No-transfer reports none.
+        assert outcomes[3].lambdas == []

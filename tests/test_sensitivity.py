@@ -1,0 +1,64 @@
+"""Tests for the parameter-sensitivity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityReport,
+    _spearman,
+    analyze_sensitivity,
+)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.arange(20, dtype=float)
+        assert _spearman(x, x**3) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        x = np.arange(20, dtype=float)
+        assert _spearman(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_is_zero(self):
+        x = np.arange(10, dtype=float)
+        assert _spearman(x, np.ones(10)) == 0.0
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def report(self, request) -> SensitivityReport:
+        tiny = request.getfixturevalue("tiny_benchmark")
+        return analyze_sensitivity(tiny, n_estimators=20, seed=0)
+
+    def test_shapes(self, report, tiny_benchmark):
+        d = tiny_benchmark.space.dim
+        assert report.rank_correlation.shape == (d, 3)
+        assert report.tree_importance.shape == (d, 3)
+        assert report.effect_span.shape == (d, 3)
+
+    def test_importances_normalized(self, report):
+        sums = report.tree_importance.sum(axis=0)
+        assert np.allclose(sums, 1.0, atol=1e-6)
+
+    def test_correlations_bounded(self, report):
+        assert np.all(np.abs(report.rank_correlation) <= 1.0 + 1e-9)
+
+    def test_utilization_drives_area(self, report):
+        """max_density_util must be the dominant area knob (area is
+        cell_area / utilization by construction)."""
+        i = report.parameter_names.index("max_density_util")
+        j = report.metric_names.index("area")
+        assert report.rank_correlation[i, j] < -0.5
+        assert report.top_parameters("area", 2)[0] == "max_density_util"
+
+    def test_top_parameters_k(self, report):
+        top = report.top_parameters("delay", 3)
+        assert len(top) == 3
+        assert len(set(top)) == 3
+
+    def test_format_renders(self, report):
+        text = report.format()
+        assert "max_density_util" in text
+        assert "corr" in text

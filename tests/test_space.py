@@ -1,0 +1,210 @@
+"""Unit + property tests for typed parameters and parameter spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import (
+    BoolParameter,
+    EnumParameter,
+    FloatParameter,
+    IntParameter,
+    ParameterSpace,
+)
+
+
+def small_space() -> ParameterSpace:
+    return ParameterSpace((
+        FloatParameter("f", 1.0, 3.0),
+        IntParameter("i", 2, 9),
+        BoolParameter("b"),
+        EnumParameter("e", ("lo", "mid", "hi")),
+    ))
+
+
+class TestFloatParameter:
+    def test_from_unit_endpoints(self):
+        p = FloatParameter("x", 1.0, 3.0)
+        assert p.from_unit(0.0) == 1.0
+        assert p.from_unit(1.0) == 3.0
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 3.0, 3.0)
+
+    def test_unit_out_of_range(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 0.0, 1.0).from_unit(1.5)
+
+    def test_feature_roundtrip(self):
+        p = FloatParameter("x", 1.0, 3.0)
+        assert p.from_feature(p.to_feature(2.2)) == pytest.approx(2.2)
+
+    def test_from_feature_clamps(self):
+        p = FloatParameter("x", 1.0, 3.0)
+        assert p.from_feature(100.0) == 3.0
+        assert p.from_feature(-100.0) == 1.0
+
+    def test_contains(self):
+        p = FloatParameter("x", 1.0, 3.0)
+        assert p.contains(2.0) and p.contains(1.0)
+        assert not p.contains(3.5) and not p.contains("a")
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_from_unit_in_domain(self, u):
+        p = FloatParameter("x", -2.0, 5.0)
+        assert p.contains(p.from_unit(u))
+
+
+class TestIntParameter:
+    def test_from_unit_covers_all_values(self):
+        p = IntParameter("i", 0, 3)
+        values = {p.from_unit(u) for u in np.linspace(0, 1, 100)}
+        assert values == {0, 1, 2, 3}
+
+    def test_from_feature_rounds(self):
+        p = IntParameter("i", 0, 10)
+        assert p.from_feature(4.4) == 4
+        assert p.from_feature(4.6) == 5
+
+    def test_contains_rejects_bool(self):
+        assert not IntParameter("i", 0, 2).contains(True)
+
+    def test_contains_rejects_float(self):
+        assert not IntParameter("i", 0, 2).contains(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_from_unit_in_domain(self, u):
+        p = IntParameter("i", 3, 17)
+        assert p.contains(p.from_unit(u))
+
+
+class TestBoolParameter:
+    def test_from_unit_threshold(self):
+        p = BoolParameter("b")
+        assert p.from_unit(0.4) is False
+        assert p.from_unit(0.6) is True
+
+    def test_feature_mapping(self):
+        p = BoolParameter("b")
+        assert p.to_feature(True) == 1.0
+        assert p.from_feature(0.2) is False
+
+    def test_contains(self):
+        p = BoolParameter("b")
+        assert p.contains(False)
+        assert not p.contains(1)
+
+
+class TestEnumParameter:
+    def test_unit_covers_levels(self):
+        p = EnumParameter("e", ("a", "b", "c"))
+        values = {p.from_unit(u) for u in np.linspace(0, 1, 100)}
+        assert values == {"a", "b", "c"}
+
+    def test_ordinal_feature(self):
+        p = EnumParameter("e", ("a", "b", "c"))
+        assert p.to_feature("b") == 1.0
+        assert p.from_feature(1.9) == "c"
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValueError):
+            EnumParameter("e", ("a", "a"))
+
+    def test_single_level_rejected(self):
+        with pytest.raises(ValueError):
+            EnumParameter("e", ("a",))
+
+    def test_feature_bounds(self):
+        assert EnumParameter("e", ("a", "b", "c")).feature_bounds() == (
+            0.0, 2.0,
+        )
+
+
+class TestParameterSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ParameterSpace((
+                FloatParameter("x", 0, 1), FloatParameter("x", 0, 1),
+            ))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(())
+
+    def test_names_and_dim(self):
+        s = small_space()
+        assert s.names == ["f", "i", "b", "e"]
+        assert s.dim == len(s) == 4
+
+    def test_getitem(self):
+        s = small_space()
+        assert s["i"].name == "i"
+        with pytest.raises(KeyError):
+            s["zzz"]
+
+    def test_encode_decode_roundtrip(self):
+        s = small_space()
+        config = {"f": 2.5, "i": 7, "b": True, "e": "mid"}
+        assert s.decode(s.encode(config)) == config
+
+    def test_encode_many_shape(self):
+        s = small_space()
+        configs = [s.from_unit(np.full(4, u)) for u in (0.1, 0.5, 0.9)]
+        assert s.encode_many(configs).shape == (3, 4)
+
+    def test_validate_accepts_good(self):
+        s = small_space()
+        s.validate({"f": 1.5, "i": 2, "b": False, "e": "lo"})
+
+    def test_validate_missing_key(self):
+        s = small_space()
+        with pytest.raises(ValueError, match="missing"):
+            s.validate({"f": 1.5, "i": 2, "b": False})
+
+    def test_validate_extra_key(self):
+        s = small_space()
+        with pytest.raises(ValueError, match="extra"):
+            s.validate({
+                "f": 1.5, "i": 2, "b": False, "e": "lo", "zz": 1,
+            })
+
+    def test_validate_out_of_domain(self):
+        s = small_space()
+        with pytest.raises(ValueError, match="outside"):
+            s.validate({"f": 99.0, "i": 2, "b": False, "e": "lo"})
+
+    def test_feature_bounds_shape(self):
+        assert small_space().feature_bounds().shape == (4, 2)
+
+    def test_normalize_unit_range(self):
+        s = small_space()
+        configs = [s.from_unit(np.full(4, u)) for u in np.linspace(0, 1, 9)]
+        Xn = s.normalize(s.encode_many(configs))
+        assert Xn.min() >= 0.0 and Xn.max() <= 1.0
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError):
+            small_space().decode(np.zeros(3))
+
+    @settings(max_examples=30)
+    @given(st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=4, max_size=4,
+    ))
+    def test_from_unit_always_valid(self, units):
+        s = small_space()
+        config = s.from_unit(np.array(units))
+        s.validate(config)
+
+    @settings(max_examples=30)
+    @given(st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=4, max_size=4,
+    ))
+    def test_decode_encode_fixpoint(self, units):
+        s = small_space()
+        config = s.from_unit(np.array(units))
+        features = s.encode(config)
+        assert s.decode(features) == config

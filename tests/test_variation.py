@@ -1,0 +1,108 @@
+"""Unit tests for the systematic variation field."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdtool.params import ToolParameters
+from repro.pdtool.variation import (
+    VariationField,
+    normalize_params,
+)
+
+
+class TestNormalizeParams:
+    def test_in_unit_cube(self):
+        x = normalize_params(ToolParameters())
+        assert np.all(x >= 0.0) and np.all(x <= 1.0)
+
+    def test_sensitive_to_each_knob(self):
+        base = normalize_params(ToolParameters())
+        for change in (
+            {"freq": 1300.0}, {"place_rcfactor": 1.3},
+            {"max_fanout": 50}, {"uniform_density": True},
+            {"flow_effort": "extreme"}, {"clock_power_driven": True},
+        ):
+            x = normalize_params(ToolParameters().replace(**change))
+            assert not np.array_equal(x, base), change
+
+    def test_clipped_outside_reference(self):
+        x = normalize_params(ToolParameters(freq=5000.0))
+        assert x.max() <= 1.0
+
+
+class TestVariationField:
+    def test_deterministic(self):
+        a = VariationField(123, 0.05)
+        b = VariationField(123, 0.05)
+        p = ToolParameters(freq=1111.0)
+        assert np.array_equal(a.multipliers(p), b.multipliers(p))
+
+    def test_different_seeds_differ(self):
+        p = ToolParameters()
+        a = VariationField(1, 0.05).multipliers(p)
+        b = VariationField(2, 0.05).multipliers(p)
+        assert not np.allclose(a, b)
+
+    def test_amplitude_zero_is_identity(self):
+        field = VariationField(7, 0.0)
+        assert np.allclose(
+            field.multipliers(ToolParameters()), 1.0
+        )
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            VariationField(7, -0.1)
+
+    def test_bad_family_weight_rejected(self):
+        with pytest.raises(ValueError):
+            VariationField(7, 0.05, family_seed=1, family_weight=1.5)
+
+    def test_field_statistics(self):
+        field = VariationField(11, 0.05)
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(300):
+            p = ToolParameters(
+                freq=rng.uniform(950, 1300),
+                place_rcfactor=rng.uniform(1.0, 1.3),
+                max_density_util=rng.uniform(0.5, 1.0),
+                max_allowed_delay=rng.uniform(0, 0.25),
+            )
+            samples.append(field.multipliers(p))
+        arr = np.array(samples) - 1.0
+        # Roughly zero-mean with std near the amplitude.
+        assert abs(arr.mean()) < 0.02
+        assert 0.02 < arr.std() < 0.09
+
+    def test_family_sharing_correlates_fields(self):
+        rng = np.random.default_rng(3)
+        shared_a = VariationField(
+            1, 0.05, family_seed=99, family_weight=0.8
+        )
+        shared_b = VariationField(
+            2, 0.05, family_seed=99, family_weight=0.8
+        )
+        unrelated = VariationField(
+            3, 0.05, family_seed=77, family_weight=0.8
+        )
+        va, vb, vu = [], [], []
+        for _ in range(200):
+            p = ToolParameters(
+                freq=rng.uniform(950, 1300),
+                max_density_util=rng.uniform(0.5, 1.0),
+            )
+            va.append(shared_a.multipliers(p))
+            vb.append(shared_b.multipliers(p))
+            vu.append(unrelated.multipliers(p))
+        va, vb, vu = np.array(va), np.array(vb), np.array(vu)
+        corr_family = np.corrcoef(va[:, 2], vb[:, 2])[0, 1]
+        corr_unrel = np.corrcoef(va[:, 2], vu[:, 2])[0, 1]
+        assert corr_family > 0.4
+        assert corr_family > corr_unrel
+
+    def test_without_family_weight_ignored(self):
+        field = VariationField(5, 0.05, family_seed=None,
+                               family_weight=0.9)
+        assert field.family_weight == 0.0

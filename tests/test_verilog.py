@@ -1,0 +1,183 @@
+"""Tests for structural Verilog export/import."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdtool.library import CellLibrary
+from repro.pdtool.netlist import PRIMARY_INPUT, Netlist
+from repro.pdtool.verilog import (
+    VerilogParseError,
+    read_verilog,
+    write_verilog,
+)
+
+
+@pytest.fixture()
+def small_netlist(library) -> Netlist:
+    nl = Netlist("adder_bit", library)
+    nl.add_input()
+    nl.add_input()
+    a = nl.add_cell("DFF", [PRIMARY_INPUT])
+    b = nl.add_cell("DFF", [PRIMARY_INPUT])
+    s = nl.add_cell("XOR2", [a, b])
+    c = nl.add_cell("AND2", [a, b], drive=2)
+    nl.add_cell("DFF", [s])
+    nl.add_cell("DFF", [c])
+    return nl
+
+
+class TestWrite:
+    def test_emits_module(self, small_netlist, tmp_path):
+        path = tmp_path / "out.v"
+        write_verilog(small_netlist, path)
+        text = path.read_text()
+        assert "module adder_bit" in text
+        assert "endmodule" in text
+        assert "XOR2_X1" in text
+        assert "AND2_X2" in text
+
+    def test_sequential_cells_get_clock(self, small_netlist, tmp_path):
+        path = tmp_path / "out.v"
+        write_verilog(small_netlist, path)
+        text = path.read_text()
+        assert ".CK(clk)" in text
+        assert text.count(".Q(") == 4  # four DFFs
+
+    def test_inputs_declared(self, small_netlist, tmp_path):
+        path = tmp_path / "out.v"
+        write_verilog(small_netlist, path)
+        text = path.read_text()
+        assert "input pi0;" in text and "input pi1;" in text
+
+
+class TestRoundTrip:
+    def test_small_netlist(self, small_netlist, tmp_path):
+        path = tmp_path / "rt.v"
+        write_verilog(small_netlist, path)
+        back = read_verilog(path, small_netlist.library)
+        assert back.name == small_netlist.name
+        assert back.n_cells == small_netlist.n_cells
+        assert back.n_primary_inputs == small_netlist.n_primary_inputs
+        assert (
+            back.counts_by_function()
+            == small_netlist.counts_by_function()
+        )
+
+    def test_mac_netlist(self, tiny_netlist, tmp_path):
+        path = tmp_path / "mac.v"
+        write_verilog(tiny_netlist, path)
+        back = read_verilog(path, tiny_netlist.library)
+        assert back.n_cells == tiny_netlist.n_cells
+        assert (
+            back.counts_by_function() == tiny_netlist.counts_by_function()
+        )
+
+    def test_roundtrip_preserves_qor(self, tiny_netlist, tmp_path):
+        """The re-imported design must implement identical physics."""
+        from repro.pdtool.flow import FlowConfig, PDFlow
+        from repro.pdtool.params import ToolParameters
+
+        path = tmp_path / "mac.v"
+        write_verilog(tiny_netlist, path)
+        back = read_verilog(path, tiny_netlist.library)
+        cfg = FlowConfig(qor_noise=0.0, variation_amplitude=0.0)
+        a = PDFlow(tiny_netlist, cfg).run(ToolParameters())
+        b = PDFlow(back, cfg).run(ToolParameters())
+        assert a.area == pytest.approx(b.area)
+        assert a.delay == pytest.approx(b.delay, rel=1e-6)
+        assert a.power == pytest.approx(b.power, rel=1e-6)
+
+    def test_instance_names_preserved(self, small_netlist, tmp_path):
+        path = tmp_path / "rt.v"
+        write_verilog(small_netlist, path)
+        back = read_verilog(path, small_netlist.library)
+        assert {i.name for i in back.instances} == {
+            i.name for i in small_netlist.instances
+        }
+
+
+class TestParserErrors:
+    def _parse(self, tmp_path, text):
+        path = tmp_path / "bad.v"
+        path.write_text(text)
+        return read_verilog(path)
+
+    def test_unknown_cell(self, tmp_path):
+        with pytest.raises(VerilogParseError, match="unknown cell"):
+            self._parse(tmp_path, """
+module m (clk, pi0);
+  input clk; input pi0;
+  wire n0;
+  MAGIC_X9 u0 (.A(pi0), .Y(n0));
+endmodule
+""")
+
+    def test_undriven_net(self, tmp_path):
+        with pytest.raises(VerilogParseError, match="undriven"):
+            self._parse(tmp_path, """
+module m (clk, pi0);
+  input clk; input pi0;
+  wire n0;
+  INV_X1 u0 (.A(mystery), .Y(n0));
+endmodule
+""")
+
+    def test_multiply_driven_net(self, tmp_path):
+        with pytest.raises(VerilogParseError, match="multiply driven"):
+            self._parse(tmp_path, """
+module m (clk, pi0);
+  input clk; input pi0;
+  wire n0;
+  INV_X1 u0 (.A(pi0), .Y(n0));
+  INV_X1 u1 (.A(pi0), .Y(n0));
+endmodule
+""")
+
+    def test_combinational_cycle(self, tmp_path):
+        with pytest.raises(VerilogParseError, match="cyclic"):
+            self._parse(tmp_path, """
+module m (clk, pi0);
+  input clk; input pi0;
+  wire n0; wire n1;
+  INV_X1 u0 (.A(n1), .Y(n0));
+  INV_X1 u1 (.A(n0), .Y(n1));
+endmodule
+""")
+
+    def test_missing_pin(self, tmp_path):
+        with pytest.raises(VerilogParseError, match="missing pin"):
+            self._parse(tmp_path, """
+module m (clk, pi0);
+  input clk; input pi0;
+  wire n0;
+  NAND2_X1 u0 (.A(pi0), .Y(n0));
+endmodule
+""")
+
+    def test_no_module(self, tmp_path):
+        with pytest.raises(VerilogParseError, match="no module"):
+            self._parse(tmp_path, "wire x;\n")
+
+    def test_unsupported_construct(self, tmp_path):
+        with pytest.raises(VerilogParseError, match="unsupported"):
+            self._parse(tmp_path, """
+module m (clk);
+  input clk;
+  assign x = 1'b0;
+endmodule
+""")
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.v"
+        path.write_text("""
+// a comment
+module m (clk, pi0); /* block
+comment */
+  input clk; input pi0;
+  wire n0;
+  INV_X1 u0 (.A(pi0), .Y(n0)); // inline
+endmodule
+""")
+        nl = read_verilog(path)
+        assert nl.n_cells == 1
