@@ -1,0 +1,51 @@
+"""Benchmark the crash-safe cache store hot paths.
+
+Measures the verified load (zip check + SHA-256 + decompress) of a
+paper-sized 5000-point table, the atomic save, and a full
+``verify`` sweep — the costs every ``tune``/``generate`` run pays at
+startup.  Run with ``pytest benchmarks/bench_cache_store.py
+--benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.store import BenchmarkStore
+
+#: Paper-scale table shape (source1/target1: 5000 x 12 features, 3 QoR).
+_N, _D = 5000, 12
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return BenchmarkStore(tmp_path)
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "X": rng.uniform(size=(_N, _D)),
+        "Y": rng.uniform(0.5, 2.0, size=(_N, 3)),
+    }
+
+
+def test_atomic_save(benchmark, store, arrays):
+    benchmark(store.save, "bench-reduced-n5000-v1.npz", arrays)
+
+
+def test_verified_load(benchmark, store, arrays):
+    store.save("bench-reduced-n5000-v1.npz", arrays)
+    out = benchmark(
+        store.load, "bench-reduced-n5000-v1.npz", ("X", "Y")
+    )
+    assert np.array_equal(out["X"], arrays["X"])
+
+
+def test_verify_sweep(benchmark, store, arrays):
+    for i in range(4):
+        store.save(f"bench{i}-reduced-n5000-v1.npz", arrays)
+    reports = benchmark(store.verify)
+    assert all(r.status == "ok" for r in reports)

@@ -4,14 +4,17 @@ from .dataset import OBJECTIVE_SPACES, QOR_METRICS, BenchmarkDataset
 from .io import export_benchmark_csv, import_benchmark_csv
 from .generate import (
     CACHE_VERSION,
+    cache_workers,
     default_cache_dir,
     design_spec,
     evaluate_configs,
+    evaluate_configs_parallel,
     full_scale,
     generate_all,
     generate_benchmark,
     get_flow,
 )
+from .store import BenchmarkStore, CacheCorruptionError, VerifyReport
 from .spaces import (
     BENCHMARK_DESIGN,
     PAPER_POOL_SIZES,
@@ -30,11 +33,16 @@ __all__ = [
     "QOR_METRICS",
     "SPACES",
     "BenchmarkDataset",
+    "BenchmarkStore",
+    "CacheCorruptionError",
+    "VerifyReport",
+    "cache_workers",
     "default_cache_dir",
     "export_benchmark_csv",
     "import_benchmark_csv",
     "design_spec",
     "evaluate_configs",
+    "evaluate_configs_parallel",
     "full_scale",
     "generate_all",
     "generate_benchmark",

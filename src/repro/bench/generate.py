@@ -3,18 +3,25 @@
 Latin-hypercube sample the benchmark's parameter space, push every
 configuration through the simulated PD flow, and store the golden QoR
 table.  Generation is deterministic per (benchmark, scale) and cached on
-disk, mirroring how the paper built its offline tables once and tuned
-against them.
+disk through the crash-safe :class:`~repro.bench.store.BenchmarkStore`,
+mirroring how the paper built its offline tables once and tuned against
+them.  Corrupt cache files are quarantined and transparently
+regenerated; concurrent generators of the same table build it exactly
+once.
 
 Scale: by default the designs are reduced-bit-width MACs so the full suite
 generates in tens of seconds; set the environment variable
 ``PPATUNER_FULL=1`` for paper-scale cell counts (see DESIGN.md §2).
+Cold regeneration fans the flow runs out over a process pool
+(``PPATUNER_WORKERS`` overrides the worker count).
 """
 
 from __future__ import annotations
 
+import functools
+import logging
 import os
-from pathlib import Path
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -31,12 +38,33 @@ from ..space.sampling import latin_hypercube
 from ..space.space import Configuration
 from .dataset import QOR_METRICS, BenchmarkDataset
 from .spaces import BENCHMARK_DESIGN, PAPER_POOL_SIZES, SPACES
+from .store import BenchmarkStore, default_cache_dir
+
+__all__ = [
+    "CACHE_VERSION",
+    "DESIGN_BASE_PARAMS",
+    "cache_workers",
+    "default_cache_dir",
+    "design_spec",
+    "evaluate_configs",
+    "evaluate_configs_parallel",
+    "full_scale",
+    "generate_all",
+    "generate_benchmark",
+    "get_flow",
+]
+
+log = logging.getLogger(__name__)
 
 #: Cache-format version; bump when the simulator's physics change.
 CACHE_VERSION = 15
 
 #: Seed offsets so each benchmark gets an independent LHS draw.
 _BENCH_SEEDS = {"source1": 11, "target1": 13, "source2": 17, "target2": 19}
+
+#: Below this pool size a cold build stays serial — the process-pool
+#: spin-up would cost more than it saves.
+_PARALLEL_MIN_POINTS = 512
 
 #: Fixed tool parameters per design for knobs the benchmark space does not
 #: tune.  The clock target must sit near each design's achievable speed or
@@ -53,6 +81,18 @@ def full_scale() -> bool:
     return os.environ.get("PPATUNER_FULL", "").strip() in {"1", "true"}
 
 
+def cache_workers() -> int:
+    """Worker-process count for cold benchmark builds.
+
+    ``PPATUNER_WORKERS`` overrides; defaults to the CPU count (capped at
+    8 — the flow runs are short, so more workers only add fork cost).
+    """
+    raw = os.environ.get("PPATUNER_WORKERS", "").strip()
+    if raw:
+        return max(1, int(raw))
+    return min(os.cpu_count() or 1, 8)
+
+
 def design_spec(design: str) -> MacSpec:
     """MAC spec for a benchmark design name at the active scale."""
     if design == "small":
@@ -60,14 +100,6 @@ def design_spec(design: str) -> MacSpec:
     if design == "large":
         return PAPER_LARGE_MAC if full_scale() else LARGE_MAC
     raise ValueError(f"unknown design {design!r}")
-
-
-def default_cache_dir() -> Path:
-    """Directory for cached benchmark tables."""
-    override = os.environ.get("PPATUNER_CACHE")
-    if override:
-        return Path(override)
-    return Path(__file__).resolve().parents[3] / ".cache" / "benchmarks"
 
 
 _FLOW_CACHE: dict[str, PDFlow] = {}
@@ -103,12 +135,88 @@ def evaluate_configs(
     return rows
 
 
+def _evaluate_chunk(
+    design: str,
+    base_params: dict[str, object],
+    configs: list[Configuration],
+) -> np.ndarray:
+    """Worker: rebuild the flow locally and evaluate one chunk."""
+    return evaluate_configs(get_flow(design), configs, base_params)
+
+
+def evaluate_configs_parallel(
+    design: str,
+    configs: list[Configuration],
+    base_params: dict[str, object] | None = None,
+    n_workers: int | None = None,
+) -> np.ndarray:
+    """Evaluate a pool across a process pool, preserving row order.
+
+    Flow runs are independent and deterministic per configuration, so the
+    result is bit-identical to the serial :func:`evaluate_configs`.  Falls
+    back to serial when only one worker is available, for small pools
+    (under ``_PARALLEL_MIN_POINTS`` unless ``n_workers`` is explicit), or
+    if the pool cannot be started.
+
+    Args:
+        design: Design name (``"small"``/``"large"``) — each worker
+            rebuilds its flow from this, as :class:`PDFlow` need not be
+            picklable.
+        configs: Tuned-parameter assignments.
+        base_params: Fixed values for untuned knobs.
+        n_workers: Worker count; defaults to :func:`cache_workers`.
+    """
+    base = dict(base_params or {})
+    workers = n_workers if n_workers is not None else cache_workers()
+    if n_workers is None and len(configs) < _PARALLEL_MIN_POINTS:
+        workers = 1
+    workers = min(workers, len(configs)) or 1
+    if workers <= 1:
+        return evaluate_configs(get_flow(design), configs, base)
+    bounds = np.linspace(0, len(configs), workers + 1).astype(int)
+    chunks = [
+        configs[lo:hi]
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(
+                functools.partial(_evaluate_chunk, design, base), chunks
+            ))
+    except Exception:
+        log.warning(
+            "process pool failed; evaluating %d configs serially",
+            len(configs), exc_info=True,
+        )
+        return evaluate_configs(get_flow(design), configs, base)
+    return np.vstack(parts)
+
+
+def _build_benchmark(
+    name: str, n: int, design: str
+) -> tuple[list[Configuration], np.ndarray, np.ndarray]:
+    """Cold build: LHS-sample the space and run every config."""
+    space = SPACES[name]()
+    configs = latin_hypercube(space, n, seed=_BENCH_SEEDS[name])
+    X = space.encode_many(configs)
+    Y = evaluate_configs_parallel(
+        design, configs, DESIGN_BASE_PARAMS[design]
+    )
+    return configs, X, Y
+
+
 def generate_benchmark(
     name: str,
     n_points: int | None = None,
     cache: bool = True,
 ) -> BenchmarkDataset:
     """Build (or load) one offline benchmark.
+
+    Cached tables are loaded through the crash-safe store: a corrupt or
+    truncated cache file is quarantined and the table rebuilt instead of
+    raising, and concurrent invocations build each table exactly once
+    (the others block on an advisory lock, then load).
 
     Args:
         name: ``"source1"``, ``"target1"``, ``"source2"`` or
@@ -130,25 +238,26 @@ def generate_benchmark(
     space = SPACES[name]()
     design = BENCHMARK_DESIGN[name]
     scale = "full" if full_scale() else "reduced"
-    cache_file = default_cache_dir() / (
-        f"{name}-{scale}-n{n}-v{CACHE_VERSION}.npz"
-    )
 
-    if cache and cache_file.exists():
-        data = np.load(cache_file, allow_pickle=False)
-        X = data["X"]
-        Y = data["Y"]
-        configs = [space.decode(row) for row in X]
+    if not cache:
+        configs, X, Y = _build_benchmark(name, n, design)
         return BenchmarkDataset(name, space, configs, X, Y, design)
 
-    configs = latin_hypercube(space, n, seed=_BENCH_SEEDS[name])
-    X = space.encode_many(configs)
-    Y = evaluate_configs(
-        get_flow(design), configs, DESIGN_BASE_PARAMS[design]
-    )
-    if cache:
-        cache_file.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(cache_file, X=X, Y=Y)
+    store = BenchmarkStore(default_cache_dir())
+    filename = f"{name}-{scale}-n{n}-v{CACHE_VERSION}.npz"
+    arrays = store.load(filename, required=("X", "Y"))
+    if arrays is None:
+        with store.lock(filename):
+            # Another process may have built it while we waited.
+            arrays = store.load(filename, required=("X", "Y"))
+            if arrays is None:
+                configs, X, Y = _build_benchmark(name, n, design)
+                store.save(filename, {"X": X, "Y": Y})
+                store.gc_stale(CACHE_VERSION)
+                return BenchmarkDataset(name, space, configs, X, Y, design)
+    X = arrays["X"]
+    Y = arrays["Y"]
+    configs = [space.decode(row) for row in X]
     return BenchmarkDataset(name, space, configs, X, Y, design)
 
 

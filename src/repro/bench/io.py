@@ -75,9 +75,13 @@ def import_benchmark_csv(
             config: Configuration = {}
             for param, raw in zip(space.parameters, row):
                 config[param.name] = _parse_value(raw)
-            space.validate(config)
+            try:
+                space.validate(config)
+                qor = [float(v) for v in row[space.dim:]]
+            except ValueError as exc:
+                raise ValueError(f"row {line_no}: {exc}") from exc
             configs.append(config)
-            rows.append([float(v) for v in row[space.dim:]])
+            rows.append(qor)
     if not configs:
         raise ValueError("CSV contains no data rows")
     return BenchmarkDataset(
@@ -91,10 +95,14 @@ def import_benchmark_csv(
 
 
 def _parse_value(raw: str) -> object:
-    """Parse a CSV cell back to bool/int/float/str."""
+    """Parse a CSV cell back to bool/int/float/str.
+
+    Booleans are matched case-insensitively (``true``/``TRUE``/``True``)
+    so tables written by external tools import cleanly.
+    """
     text = raw.strip()
-    if text in ("True", "False"):
-        return text == "True"
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
     try:
         as_int = int(text)
     except ValueError:

@@ -7,6 +7,7 @@ Commands:
 - ``scenario``      reproduce a paper table (Scenario One or Two)
 - ``sensitivity``   parameter-sensitivity report for one benchmark
 - ``export``        write a generated MAC netlist as structural Verilog
+- ``cache``         inspect/heal the benchmark cache (verify/clear/info)
 """
 
 from __future__ import annotations
@@ -119,6 +120,43 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .bench import CACHE_VERSION, BenchmarkStore, default_cache_dir
+
+    store = BenchmarkStore(default_cache_dir())
+    if args.action == "verify":
+        reports = store.verify(current_version=CACHE_VERSION)
+        if not reports:
+            print(f"cache at {store.root} is empty")
+            return 0
+        for report in reports:
+            line = f"{report.status:>12}  {report.filename}"
+            if report.detail:
+                line += f"  ({report.detail})"
+            print(line)
+        healed = sum(r.status != "ok" for r in reports)
+        print(f"{len(reports)} file(s) checked, {healed} healed/removed")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} file(s) from {store.root}")
+        return 0
+    info = store.info()
+    print(f"cache root: {info['root']}")
+    print(f"tables: {info['n_files']}  "
+          f"total: {info['total_bytes'] / 1024:.1f} KiB  "
+          f"current version: v{CACHE_VERSION}")
+    for entry in info["entries"]:
+        manifested = "manifested" if entry["manifested"] else "legacy"
+        builds = entry["builds"]
+        builds_txt = f" builds={builds}" if builds is not None else ""
+        print(f"  {entry['filename']}  {entry['size']} B  "
+              f"v{entry['version']}  {manifested}{builds_txt}")
+    for name in info["quarantined"]:
+        print(f"  quarantined: {name}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -170,6 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("design", choices=("small", "large"))
     p.add_argument("output")
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "cache", help="inspect/heal the benchmark cache",
+        description="verify: check every table, quarantine corrupt ones "
+                    "and drop stale generations; clear: wipe the cache; "
+                    "info: list tables and manifest state",
+    )
+    p.add_argument("action", choices=("verify", "clear", "info"))
+    p.set_defaults(func=_cmd_cache)
 
     return parser
 

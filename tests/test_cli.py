@@ -66,3 +66,44 @@ class TestCommands:
         rc = main(["generate", "target2", "--points", "8"])
         assert rc == 0
         assert "target2" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_info_empty(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("PPATUNER_CACHE", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "tables: 0" in out
+
+    def test_verify_heals_corrupt_file(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("PPATUNER_CACHE", str(tmp_path))
+        main(["generate", "target2", "--points", "8"])
+        cached = next(
+            p for p in tmp_path.glob("*.npz")
+            if not p.name.startswith(".")
+        )
+        cached.write_bytes(b"torn write")
+        assert main(["cache", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert not cached.exists()
+
+    def test_verify_then_info_reports_ok(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("PPATUNER_CACHE", str(tmp_path))
+        main(["generate", "target2", "--points", "8"])
+        assert main(["cache", "verify"]) == 0
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "manifested" in out
+
+    def test_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("PPATUNER_CACHE", str(tmp_path))
+        main(["generate", "target2", "--points", "8"])
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.npz"))

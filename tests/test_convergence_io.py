@@ -124,3 +124,29 @@ class TestBenchmarkCsv:
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ValueError, match="column count"):
             import_benchmark_csv(path, tiny_benchmark.space)
+
+    def test_lowercase_booleans_accepted(self, tiny_benchmark, tmp_path):
+        # external tools write "true"/"false"; import must not turn them
+        # into strings that then fail space.validate
+        path = tmp_path / "lower.csv"
+        export_benchmark_csv(tiny_benchmark.subsample(3, seed=0), path)
+        text = path.read_text()
+        assert "True" in text or "False" in text  # space has a bool knob
+        path.write_text(
+            text.replace("True", "true").replace("False", "FALSE")
+        )
+        back = import_benchmark_csv(path, tiny_benchmark.space)
+        assert back.n == 3
+        for config in back.configs:
+            assert isinstance(config["clock_power_driven"], bool)
+
+    def test_bad_row_error_names_line(self, tiny_benchmark, tmp_path):
+        path = tmp_path / "badline.csv"
+        export_benchmark_csv(tiny_benchmark.subsample(3, seed=0), path)
+        lines = path.read_text().splitlines()
+        cells = lines[3].split(",")
+        cells[0] = "not-a-number"  # out-of-domain on data row 3 (line 4)
+        lines[3] = ",".join(cells)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="row 4"):
+            import_benchmark_csv(path, tiny_benchmark.space)
