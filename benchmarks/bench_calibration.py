@@ -1,0 +1,146 @@
+"""Calibration-engine benchmark: incremental fast path vs from-scratch.
+
+Runs the same tuning loop twice — once with the incremental engine
+(rank-1 border updates + cached pool cross-covariance) and once forcing
+a from-scratch refit every iteration — on identical data and seeds, and
+reports the wall-time ratio.  Trajectory equality is asserted on every
+run: the speedup must come for free.
+
+Usage:
+    pytest benchmarks/bench_calibration.py            # via pytest-benchmark
+    PYTHONPATH=src python benchmarks/bench_calibration.py --smoke
+
+The ``--smoke`` mode is the CI gate: a reduced problem that still
+requires the fast path to win by a configurable factor (>=1.5x in CI,
+where timer noise on shared runners makes the local >=3x unreliable).
+Hyperparameter re-optimization is disabled (``reopt_every=0``) so the
+measurement isolates calibration cost — with re-optimization on a
+cadence both arms pay the same optimizer bill and the ratio only
+shrinks toward it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import PoolOracle, PPATuner, PPATunerConfig
+
+
+def _make_problem(n_pool: int, n_source: int, d: int, seed: int):
+    """Synthetic bi-objective pool with a transferable source archive."""
+    rng = np.random.default_rng(seed)
+    X_pool = rng.uniform(size=(n_pool, d))
+    X_src = rng.uniform(size=(n_source, d))
+
+    def qor(X, shift):
+        f1 = np.sum((X - 0.3 - shift) ** 2, axis=1)
+        f2 = np.sum((X - 0.7 + shift) ** 2, axis=1)
+        noise = 0.01 * rng.normal(size=(len(X), 2))
+        return np.column_stack([f1, f2]) + noise
+
+    return X_pool, qor(X_pool, 0.0), X_src, qor(X_src, 0.05)
+
+
+def _run(incremental: bool, *, n_pool: int, n_source: int, d: int,
+         max_iterations: int, seed: int = 0):
+    X_pool, Y_pool, X_src, Y_src = _make_problem(n_pool, n_source, d, seed)
+    cfg = PPATunerConfig(
+        max_iterations=max_iterations,
+        batch_size=1,
+        seed=seed,
+        incremental=incremental,
+        reopt_every=0,
+        n_restarts=0,
+    )
+    tuner = PPATuner(cfg)
+    start = time.perf_counter()
+    result = tuner.tune(X_pool, PoolOracle(Y_pool), X_src, Y_src)
+    elapsed = time.perf_counter() - start
+    return elapsed, result, tuner.calibration_.stats
+
+
+def compare(*, n_pool: int, n_source: int, d: int, max_iterations: int,
+            seed: int = 0) -> dict:
+    t_fast, r_fast, stats = _run(
+        True, n_pool=n_pool, n_source=n_source, d=d,
+        max_iterations=max_iterations, seed=seed,
+    )
+    t_slow, r_slow, _ = _run(
+        False, n_pool=n_pool, n_source=n_source, d=d,
+        max_iterations=max_iterations, seed=seed,
+    )
+    # Equivalence is part of the benchmark contract, not a separate test.
+    np.testing.assert_array_equal(
+        r_fast.evaluated_indices, r_slow.evaluated_indices
+    )
+    np.testing.assert_array_equal(
+        r_fast.pareto_indices, r_slow.pareto_indices
+    )
+    assert [h.selected for h in r_fast.history] == [
+        h.selected for h in r_slow.history
+    ]
+    return {
+        "t_incremental": t_fast,
+        "t_scratch": t_slow,
+        "speedup": t_slow / t_fast,
+        "n_incremental": stats.n_incremental,
+        "n_fallbacks": stats.n_fallbacks,
+        "n_iterations": r_fast.n_iterations,
+        "n_evaluations": r_fast.n_evaluations,
+    }
+
+
+def _report(tag: str, res: dict) -> None:
+    print(f"\n=== Calibration engine ({tag}) ===")
+    print(f"from-scratch : {res['t_scratch']:8.3f} s")
+    print(f"incremental  : {res['t_incremental']:8.3f} s")
+    print(f"speedup      : {res['speedup']:8.2f}x  "
+          f"({res['n_incremental']} incremental updates, "
+          f"{res['n_fallbacks']} fallbacks, "
+          f"{res['n_iterations']} iterations, "
+          f"{res['n_evaluations']} tool runs)")
+
+
+FULL = dict(n_pool=240, n_source=320, d=6, max_iterations=60)
+SMOKE = dict(n_pool=120, n_source=160, d=4, max_iterations=25)
+
+
+def test_incremental_speedup(benchmark):
+    res = benchmark.pedantic(
+        lambda: compare(**FULL), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _report("pool=240", res)
+    # ISSUE acceptance: >=3x at pool >= 200 with identical trajectories.
+    assert res["speedup"] >= 3.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced problem with a relaxed (noise-tolerant) gate",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="override the required speedup factor",
+    )
+    args = parser.parse_args()
+    params = SMOKE if args.smoke else FULL
+    gate = args.min_speedup if args.min_speedup is not None else (
+        1.5 if args.smoke else 3.0
+    )
+    res = compare(**params)
+    _report("smoke" if args.smoke else f"pool={params['n_pool']}", res)
+    if res["speedup"] < gate:
+        print(f"FAIL: speedup {res['speedup']:.2f}x < required {gate}x")
+        return 1
+    print(f"OK: speedup {res['speedup']:.2f}x >= {gate}x, "
+          "trajectories identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

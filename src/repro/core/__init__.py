@@ -1,5 +1,6 @@
 """PPATuner core (the paper's contribution, Algorithm 1)."""
 
+from .calibration import CalibrationEngine, CalibrationStats
 from .config import PPATunerConfig
 from .decision import apply_decision_rules
 from .oracle import FlowOracle, PoolOracle
@@ -9,6 +10,8 @@ from .tuner import PPATuner
 from .uncertainty import UncertaintyRegions, prediction_rectangle
 
 __all__ = [
+    "CalibrationEngine",
+    "CalibrationStats",
     "FlowOracle",
     "IterationRecord",
     "PPATuner",

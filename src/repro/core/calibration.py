@@ -1,0 +1,179 @@
+"""Incremental GP calibration engine for the tuning loop.
+
+Algorithm 1 calibrates one surrogate per QoR metric every iteration on
+data that only grows by the freshly evaluated target points.  The engine
+decides, per iteration, between two numerically equivalent paths:
+
+- **Exact path** — a full ``fit`` per metric (kernel re-evaluation +
+  refactorization), used for the initial calibration, on every
+  hyperparameter re-optimization cadence tick (``reopt_every``,
+  warm-started from the previous optimum inside the models), and when
+  :class:`PPATunerConfig.incremental` is off.
+- **Fast path** — ``update`` per metric: the new evaluations extend the
+  cached Cholesky factor via rank-1 border updates and the cached
+  pool cross-covariance/whitened blocks by the new columns only (see
+  :mod:`repro.gp.incremental`).  If an update's Schur complement is not
+  positive definite the model falls back to an exact refactorization on
+  its own; the engine records the event in :attr:`CalibrationStats`.
+
+Predictions over the candidate pool always go through the models'
+``predict_pool`` so both paths share one code path (equivalence-tested
+in ``tests/test_calibration_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import PPATunerConfig
+
+
+@dataclass
+class CalibrationStats:
+    """Counters of the engine's calibration activity.
+
+    Attributes:
+        n_full_fits: Per-model exact ``fit`` calls.
+        n_incremental: Per-model fast-path ``update`` calls.
+        n_fallbacks: Updates that fell back to an exact refactorization
+            (jitter escalation).
+        n_reopts: Per-model hyperparameter re-optimizations.
+    """
+
+    n_full_fits: int = 0
+    n_incremental: int = 0
+    n_fallbacks: int = 0
+    n_reopts: int = 0
+
+
+class CalibrationEngine:
+    """Per-iteration surrogate calibration with an incremental fast path.
+
+    Example:
+        >>> engine = CalibrationEngine(models, cfg, multi=False,
+        ...                            sources=[], X_source=Xs,
+        ...                            Y_source=Ys)          # doctest: +SKIP
+        >>> engine.register_pool(Xn_pool)                    # doctest: +SKIP
+        >>> engine.calibrate(t, Xn_pool, sampled, y_obs, new) # doctest: +SKIP
+        >>> mean, std = engine.predict(active_ids)            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        models: list,
+        config: PPATunerConfig,
+        multi: bool,
+        sources: list[tuple[np.ndarray, np.ndarray]],
+        X_source: np.ndarray,
+        Y_source: np.ndarray,
+    ) -> None:
+        """Create the engine.
+
+        Args:
+            models: One fitted-or-fresh GP model per QoR metric.
+            config: Loop configuration (cadence and engine switches).
+            multi: Whether the models are multi-source transfer GPs.
+            sources: Normalized ``(X_k, Y_k)`` archives (multi mode).
+            X_source: Stacked normalized source features (two-task mode).
+            Y_source: Stacked source objectives (two-task mode).
+        """
+        self.models = models
+        self.config = config
+        self.multi = multi
+        self.sources = sources
+        self.X_source = X_source
+        self.Y_source = Y_source
+        self.stats = CalibrationStats()
+        self._fitted = False
+
+    def register_pool(self, X_pool: np.ndarray) -> None:
+        """Attach the fixed candidate pool to every model."""
+        for model in self.models:
+            model.register_pool(X_pool)
+
+    def calibrate(
+        self,
+        t: int,
+        X_pool: np.ndarray,
+        sampled: np.ndarray,
+        y_obs: np.ndarray,
+        new_indices: list[int],
+    ) -> None:
+        """Bring every surrogate up to date with the evaluated data.
+
+        Args:
+            t: Iteration counter (drives the re-optimization cadence).
+            X_pool: ``(n, d)`` normalized candidate features.
+            sampled: Mask of evaluated candidates.
+            y_obs: ``(n, m)`` observed objectives (NaN where unsampled).
+            new_indices: Pool indices evaluated since the previous
+                :meth:`calibrate` call (the fast path absorbs exactly
+                these).
+        """
+        cfg = self.config
+        cadence = cfg.effective_reopt_every
+        reopt = cadence > 0 and (t % cadence) == 0
+        fast = (
+            cfg.incremental
+            and self._fitted
+            and not reopt
+            and all(m.is_fitted for m in self.models)
+        )
+        if fast:
+            if not new_indices:
+                return  # no new evidence; the posterior is current
+            idx = np.asarray(new_indices, dtype=int)
+            X_new = X_pool[idx]
+            for j, model in enumerate(self.models):
+                model.update(X_new, y_obs[idx, j])
+                self.stats.n_incremental += 1
+                if model.last_update_fallback:
+                    self.stats.n_fallbacks += 1
+            return
+
+        Xt = X_pool[sampled]
+        for j, model in enumerate(self.models):
+            model.optimize = reopt
+            if self.multi:
+                model.fit(
+                    [(Xs, Ys[:, j]) for Xs, Ys in self.sources],
+                    Xt, y_obs[sampled, j],
+                )
+            else:
+                model.fit(
+                    self.X_source, self.Y_source[:, j],
+                    Xt, y_obs[sampled, j],
+                )
+            self.stats.n_full_fits += 1
+            if reopt:
+                self.stats.n_reopts += 1
+        self._fitted = True
+
+    def predict(
+        self, indices: np.ndarray, include_noise: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std per metric at registered pool ``indices``.
+
+        Args:
+            indices: Integer pool indices (or boolean mask).
+            include_noise: Add observation noise to the variances.
+
+        Returns:
+            ``(mean, std)`` arrays of shape ``(len(indices), m)``.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype == bool:
+            idx = np.nonzero(idx)[0]
+        m = len(self.models)
+        mean = np.empty((len(idx), m))
+        std = np.empty_like(mean)
+        for j, model in enumerate(self.models):
+            mu, var = model.predict_pool(idx, include_noise=include_noise)
+            mean[:, j] = mu
+            std[:, j] = np.sqrt(var)
+        return mean, std
+
+
+__all__ = ["CalibrationEngine", "CalibrationStats"]

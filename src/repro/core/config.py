@@ -24,6 +24,17 @@ class PPATunerConfig:
         kernel: Base kernel family (``"rbf"`` or ``"matern52"``).
         refit_every: Re-optimize GP hyperparameters every this many
             iterations (posteriors are refreshed every iteration).
+        reopt_every: Hyperparameter re-optimization cadence for the
+            calibration engine; refits are warm-started from the
+            previous optimum and trigger an exact refactorization.
+            ``None`` (default) inherits ``refit_every``; ``0`` disables
+            re-optimization after the initial fit entirely.
+        incremental: Use the incremental calibration engine — between
+            re-optimizations new evaluations extend the cached Cholesky
+            factor (rank-1 border updates) and the cached pool
+            cross-covariance instead of refitting from scratch.  The
+            posterior is numerically equivalent; set ``False`` to force
+            the exact from-scratch path every iteration.
         n_restarts: Hyperparameter-optimizer restarts.
         transfer: If False, source data is ignored (ablation switch).
         noise_in_regions: Include the learned observation-noise variance
@@ -45,6 +56,8 @@ class PPATunerConfig:
     max_iterations: int = 500
     kernel: str = "rbf"
     refit_every: int = 10
+    reopt_every: int | None = None
+    incremental: bool = True
     n_restarts: int = 1
     transfer: bool = True
     noise_in_regions: bool = False
@@ -70,3 +83,13 @@ class PPATunerConfig:
             raise ValueError("min_init must be >= 1")
         if self.refit_every < 1:
             raise ValueError("refit_every must be >= 1")
+        if self.reopt_every is not None and self.reopt_every < 0:
+            raise ValueError("reopt_every must be >= 0 (0 = never)")
+
+    @property
+    def effective_reopt_every(self) -> int:
+        """Re-optimization cadence: ``reopt_every`` or ``refit_every``."""
+        return (
+            self.refit_every if self.reopt_every is None
+            else self.reopt_every
+        )

@@ -16,6 +16,7 @@ from ..gp.kernels import make_kernel
 from ..gp.multisource import MultiSourceTransferGP
 from ..gp.transfer_gp import TransferGP
 from ..pareto.dominance import pareto_indices as pareto_rows
+from .calibration import CalibrationEngine
 from .config import PPATunerConfig
 from .decision import apply_decision_rules
 from .oracle import FlowOracle, PoolOracle
@@ -43,6 +44,7 @@ class PPATuner:
         """
         self.config = config or PPATunerConfig()
         self.models_: list[TransferGP | MultiSourceTransferGP] = []
+        self.calibration_: CalibrationEngine | None = None
 
     def tune(
         self,
@@ -190,9 +192,17 @@ class PPATuner:
                 for j in range(m)
             ]
 
+        engine = CalibrationEngine(
+            self.models_, cfg, multi=multi, sources=Xn_sources,
+            X_source=Xn_source, Y_source=Y_source,
+        )
+        engine.register_pool(Xn_pool)
+        self.calibration_ = engine
+
         delta_norm = float(np.linalg.norm(delta))
         history: list[IterationRecord] = []
         stop_reason = "max_iterations"
+        new_indices: list[int] = []
         for t in range(cfg.max_iterations):
             undecided = ~dropped & ~pareto
             # The loop runs while anything is undecided, and — per the
@@ -209,30 +219,17 @@ class PPATuner:
                 break
 
             # ---- Model calibration (lines 4-6). ----
-            optimize = (t % cfg.refit_every) == 0
-            Xt = Xn_pool[sampled]
+            # The engine picks the exact path (full refit, on the
+            # re-optimization cadence) or the incremental fast path
+            # (rank-1 border updates absorbing the new evaluations).
             active = ~dropped & ~sampled
-            mean = np.empty((int(active.sum()), m))
-            std = np.empty_like(mean)
-            for j, model in enumerate(self.models_):
-                model.optimize = optimize
-                if multi:
-                    model.fit(
-                        [(Xs, Ys[:, j]) for Xs, Ys in Xn_sources],
-                        Xt, y_obs[sampled, j],
-                    )
-                else:
-                    model.fit(
-                        Xn_source, Y_source[:, j], Xt, y_obs[sampled, j]
-                    )
-                mu, var = model.predict(
-                    Xn_pool[active],
-                    include_noise=cfg.noise_in_regions,
-                )
-                mean[:, j] = mu
-                std[:, j] = np.sqrt(var)
+            engine.calibrate(t, Xn_pool, sampled, y_obs, new_indices)
+            active_ids = np.nonzero(active)[0]
+            mean, std = engine.predict(
+                active_ids, include_noise=cfg.noise_in_regions
+            )
             rect_lo, rect_hi = prediction_rectangle(mean, std, cfg.tau)
-            regions.intersect(np.nonzero(active)[0], rect_lo, rect_hi)
+            regions.intersect(active_ids, rect_lo, rect_hi)
 
             # ---- Decision-making (lines 7-9). ----
             newly_dropped, newly_pareto = apply_decision_rules(
@@ -249,6 +246,7 @@ class PPATuner:
                 y_obs[idx] = oracle.evaluate(int(idx))
                 sampled[idx] = True
                 regions.collapse(int(idx), y_obs[idx])
+            new_indices = [int(i) for i in chosen]
 
             live = ~dropped
             bounded = regions.is_bounded() & live

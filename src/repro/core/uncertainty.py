@@ -64,6 +64,9 @@ class UncertaintyRegions:
         region preserves monotone non-growth while acknowledging the
         new evidence's direction.
         """
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            return  # nothing active this iteration — a cheap no-op
         prev_lo = self.lo[indices]
         prev_hi = self.hi[indices]
         lo = np.maximum(prev_lo, new_lo)
@@ -78,7 +81,20 @@ class UncertaintyRegions:
         self.hi[indices] = hi
 
     def collapse(self, index: int, value: np.ndarray) -> None:
-        """Pin a region to an observed QoR point (evaluated by the tool)."""
+        """Pin a region to an observed QoR point (evaluated by the tool).
+
+        Idempotent: re-collapsing an already-collapsed index simply
+        re-pins it (the tool's golden value is authoritative).
+
+        Raises:
+            ValueError: If ``value`` does not have one entry per
+                objective.
+        """
+        value = np.asarray(value, dtype=float).ravel()
+        if value.shape != (self.m,):
+            raise ValueError(
+                f"expected {self.m} objective values, got {value.shape}"
+            )
         self.lo[index] = value
         self.hi[index] = value
 

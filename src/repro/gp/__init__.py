@@ -5,11 +5,16 @@ and the two-task transfer GP (Eq. (8)).
 """
 
 from .gp_regression import GPRegressor
+from .incremental import IncrementalGPMixin
 from .kernels import Kernel, Matern52Kernel, RBFKernel, make_kernel
 from .likelihood import gaussian_log_marginal, maximize_objective
 from .multisource import MultiSourceTransferGP
 from .linalg import (
     NotPositiveDefiniteError,
+    cholesky_append_row,
+    cholesky_append_rows,
+    cholesky_rank1_downdate,
+    cholesky_rank1_update,
     cholesky_solve,
     log_det_from_cholesky,
     robust_cholesky,
@@ -22,6 +27,7 @@ __all__ = [
     "SOURCE_TASK",
     "TARGET_TASK",
     "GPRegressor",
+    "IncrementalGPMixin",
     "Kernel",
     "Matern52Kernel",
     "MultiSourceTransferGP",
@@ -29,6 +35,10 @@ __all__ = [
     "RBFKernel",
     "TransferGP",
     "TransferKernel",
+    "cholesky_append_row",
+    "cholesky_append_rows",
+    "cholesky_rank1_downdate",
+    "cholesky_rank1_update",
     "cholesky_solve",
     "gaussian_log_marginal",
     "log_det_from_cholesky",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .incremental import IncrementalGPMixin
 from .kernels import Kernel, RBFKernel
 from .likelihood import gaussian_log_marginal, maximize_objective
 from .linalg import cholesky_solve, robust_cholesky
@@ -18,7 +19,7 @@ from .linalg import cholesky_solve, robust_cholesky
 _NOISE_BOUNDS = (-12.0, 2.0)
 
 
-class GPRegressor:
+class GPRegressor(IncrementalGPMixin):
     """Exact GP regression with marginal-likelihood hyperparameter fit.
 
     Example:
@@ -58,6 +59,7 @@ class GPRegressor:
         self._L: np.ndarray | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        self._opt_theta: np.ndarray | None = None
 
     @property
     def noise_variance(self) -> float:
@@ -97,10 +99,45 @@ class GPRegressor:
             self._optimize_hyperparameters(X, z)
 
         K = self.kernel.eval(X) + self.noise_variance * np.eye(len(X))
-        self._L, _ = robust_cholesky(K)
+        self._L, self._jitter = robust_cholesky(K)
         self._alpha = cholesky_solve(self._L, z)
         self._X = X
+        self._y_raw = y.copy()
+        self._invalidate_pool_cache()
         return self
+
+    # ---- incremental hooks (see IncrementalGPMixin) -------------------
+
+    def _cross_cov(
+        self, X_query: np.ndarray, rows: slice | None = None
+    ) -> np.ndarray:
+        assert self.kernel is not None and self._X is not None
+        X2 = self._X if rows is None else self._X[rows]
+        return self.kernel.eval(np.atleast_2d(X_query), X2)
+
+    def _cov_new_block(self, X_new: np.ndarray) -> np.ndarray:
+        assert self.kernel is not None
+        return self.kernel.eval(X_new) + self.noise_variance * np.eye(
+            len(X_new)
+        )
+
+    def _cov_full(self) -> np.ndarray:
+        assert self.kernel is not None and self._X is not None
+        return self.kernel.eval(self._X) + self.noise_variance * np.eye(
+            len(self._X)
+        )
+
+    def _prior_diag(self, X_query: np.ndarray) -> np.ndarray:
+        assert self.kernel is not None
+        return self.kernel.diag(X_query)
+
+    def _predict_noise(self) -> float:
+        return self.noise_variance
+
+    def _append_data(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
+        assert self._X is not None and self._y_raw is not None
+        self._X = np.vstack([self._X, X_new])
+        self._y_raw = np.concatenate([self._y_raw, y_new])
 
     def _optimize_hyperparameters(self, X: np.ndarray, z: np.ndarray) -> None:
         kernel = self.kernel
@@ -117,7 +154,15 @@ class GPRegressor:
             assert g is not None
             return -lml, -g
 
+        # Warm-start refits from the previously found optimum; the live
+        # kernel theta may have been perturbed between fits (objective
+        # evaluations mutate it in place).
         theta0 = np.append(kernel.theta, self._log_noise)
+        if (
+            self._opt_theta is not None
+            and len(self._opt_theta) == len(theta0)
+        ):
+            theta0 = self._opt_theta
         bounds = kernel.bounds() + [_NOISE_BOUNDS]
         best = maximize_objective(
             objective, theta0, bounds,
@@ -125,6 +170,7 @@ class GPRegressor:
         )
         kernel.theta = best[:-1]
         self._log_noise = float(best[-1])
+        self._opt_theta = np.asarray(best, dtype=float).copy()
 
     def predict(
         self, X_new: np.ndarray, include_noise: bool = False

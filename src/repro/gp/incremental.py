@@ -1,0 +1,237 @@
+"""Shared incremental-calibration machinery for the GP models.
+
+The tuning loop (Algorithm 1) refits every surrogate each iteration on
+data that only ever *grows* by the freshly evaluated target points.  A
+from-scratch refit re-evaluates the full kernel and refactorizes the
+``(n_src + n_tgt)`` covariance — O(n^2 d + n^3) per metric per iteration.
+This mixin gives every GP model an exact O(k n^2) fast path:
+
+- :meth:`update` border-extends the cached Cholesky factor with the new
+  target rows (:func:`~repro.gp.linalg.cholesky_append_rows`) and
+  recomputes the standardization constants and ``alpha`` — the posterior
+  is *identical* (to floating-point roundoff) to a from-scratch refit
+  with the same hyperparameters.
+- :meth:`register_pool` / :meth:`predict_pool` cache the pool-vs-train
+  cross-covariance ``K*`` and the whitened block ``V = L^-1 K*^T``;
+  updates extend both by the new columns/rows only, so a pool prediction
+  costs O(n·p) instead of a fresh kernel evaluation plus an O(n^2 p)
+  triangular solve.
+
+Numerical safety: the initial fit's escalated jitter is carried onto the
+appended diagonal so the extended factor matches the fitted covariance,
+and whenever the Schur complement of an append is not positive definite
+the model transparently falls back to an exact jittered refactorization
+(``last_update_fallback`` is set so callers can count these).  Because
+hyperparameter refits rebuild everything from scratch anyway, error from
+long append chains cannot accumulate past one re-optimization cadence.
+
+Subclasses must maintain ``_X``, ``_L``, ``_alpha``, ``_y_mean``,
+``_y_std`` (the existing fit state) plus ``_y_raw`` and ``_jitter``, and
+implement the small covariance hooks below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from .linalg import (
+    NotPositiveDefiniteError,
+    cholesky_append_rows,
+    cholesky_solve,
+    robust_cholesky,
+)
+
+
+class IncrementalGPMixin:
+    """Exact incremental updates + cached pool prediction for GP models."""
+
+    # Incremental bookkeeping (instance attributes shadow these).
+    _y_raw: np.ndarray | None = None
+    _jitter: float = 0.0
+    _pool_X: np.ndarray | None = None
+    _pool_K: np.ndarray | None = None
+    _pool_V: np.ndarray | None = None
+    #: Whether the last :meth:`update` call had to fall back to an exact
+    #: from-scratch refactorization (jitter escalation).
+    last_update_fallback: bool = False
+
+    # ---- hooks implemented by each model -----------------------------
+
+    def _cross_cov(
+        self, X_query: np.ndarray, rows: slice | None = None
+    ) -> np.ndarray:
+        """Covariance of target-task queries vs training ``rows``."""
+        raise NotImplementedError
+
+    def _cov_new_block(self, X_new: np.ndarray) -> np.ndarray:
+        """Covariance among new target rows, noise included."""
+        raise NotImplementedError
+
+    def _cov_full(self) -> np.ndarray:
+        """Full training covariance (noise included), for refits."""
+        raise NotImplementedError
+
+    def _prior_diag(self, X_query: np.ndarray) -> np.ndarray:
+        """Prior variance at target-task queries."""
+        raise NotImplementedError
+
+    def _predict_noise(self) -> float:
+        """Target-task observation-noise variance."""
+        raise NotImplementedError
+
+    def _append_data(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
+        """Append new target rows to the stored training data."""
+        raise NotImplementedError
+
+    # ---- incremental update ------------------------------------------
+
+    def update(self, X_new: np.ndarray, y_new: np.ndarray):
+        """Absorb new *target-task* observations without refitting.
+
+        Extends the Cholesky factor by a border update and refreshes the
+        standardization constants and ``alpha``; hyperparameters are
+        left untouched.  The result is numerically equivalent to calling
+        ``fit`` on the concatenated data with ``optimize=False``.
+
+        Args:
+            X_new: ``(k, d)`` new target inputs.
+            y_new: Length-``k`` new target observations (original
+                scale).
+
+        Returns:
+            ``self``.
+
+        Raises:
+            RuntimeError: If called before ``fit``.
+            ValueError: On shape mismatch.
+        """
+        if not self.is_fitted:  # type: ignore[attr-defined]
+            raise RuntimeError("update() before fit()")
+        assert self._X is not None and self._L is not None
+        assert self._y_raw is not None
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        if len(X_new) != len(y_new):
+            raise ValueError("X_new and y_new misaligned")
+        self.last_update_fallback = False
+        if len(y_new) == 0:
+            return self
+        if X_new.shape[1] != self._X.shape[1]:
+            raise ValueError("dimensionality mismatch")
+
+        n_old = len(self._L)
+        k = len(y_new)
+        K_cross = self._cross_cov(X_new).T  # (n_old, k)
+        K_block = self._cov_new_block(X_new)
+        if self._jitter:
+            K_block = K_block + self._jitter * np.eye(k)
+        try:
+            L_ext = cholesky_append_rows(self._L, K_cross, K_block)
+        except NotPositiveDefiniteError:
+            # Jitter escalation: rebuild the exact factorization so the
+            # posterior never silently drifts.
+            self._append_data(X_new, y_new)
+            self._refit_state()
+            self.last_update_fallback = True
+            return self
+
+        self._append_data(X_new, y_new)
+        self._L = L_ext
+        self._restandardize()
+        if self._pool_K is not None and self._pool_V is not None:
+            rows = slice(n_old, n_old + k)
+            Kp_new = self._cross_cov(self._pool_X, rows)  # (p, k)
+            C = L_ext[n_old:, :n_old]
+            L22 = L_ext[n_old:, n_old:]
+            V_new = solve_triangular(
+                L22, Kp_new.T - C @ self._pool_V, lower=True
+            )
+            self._pool_K = np.hstack([self._pool_K, Kp_new])
+            self._pool_V = np.vstack([self._pool_V, V_new])
+        return self
+
+    def _restandardize(self) -> None:
+        """Refresh standardization constants and ``alpha`` from raw y."""
+        assert self._y_raw is not None and self._L is not None
+        y = self._y_raw
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        z = (y - self._y_mean) / self._y_std
+        self._alpha = cholesky_solve(self._L, z)
+
+    def _refit_state(self) -> None:
+        """Exact posterior refresh from the current hyperparameters."""
+        K = self._cov_full()
+        self._L, self._jitter = robust_cholesky(K)
+        self._restandardize()
+        self._invalidate_pool_cache()
+
+    # ---- cached pool prediction --------------------------------------
+
+    def register_pool(self, X_pool: np.ndarray) -> None:
+        """Attach a fixed candidate pool for cached prediction.
+
+        Args:
+            X_pool: ``(p, d)`` target-task candidate features; rows are
+                addressed by index in :meth:`predict_pool`.
+        """
+        self._pool_X = np.atleast_2d(np.asarray(X_pool, dtype=float))
+        self._invalidate_pool_cache()
+
+    def _invalidate_pool_cache(self) -> None:
+        self._pool_K = None
+        self._pool_V = None
+
+    def predict_pool(
+        self, indices: np.ndarray, include_noise: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/variance at registered pool rows ``indices``.
+
+        Numerically equivalent to ``predict(X_pool[indices])`` but served
+        from the cached cross-covariance and whitened blocks: after each
+        incremental update only the new columns are computed, so the
+        per-iteration cost is O(n·p) rather than a fresh kernel
+        evaluation plus an O(n^2 p) solve.
+
+        Args:
+            indices: Integer row indices (or boolean mask) into the
+                registered pool.
+            include_noise: Add the target observation-noise variance.
+
+        Returns:
+            ``(mean, variance)`` in the original target scale.
+
+        Raises:
+            RuntimeError: If the model is unfitted or no pool is
+                registered.
+        """
+        if not self.is_fitted:  # type: ignore[attr-defined]
+            raise RuntimeError("predict_pool() before fit()")
+        if self._pool_X is None:
+            raise RuntimeError("predict_pool() before register_pool()")
+        assert self._L is not None and self._alpha is not None
+        if self._pool_K is None or self._pool_V is None:
+            self._pool_K = self._cross_cov(self._pool_X)
+            self._pool_V = solve_triangular(
+                self._L, self._pool_K.T, lower=True
+            )
+        idx = np.asarray(indices)
+        if idx.dtype == bool:
+            idx = np.nonzero(idx)[0]
+        K_rows = self._pool_K[idx]
+        V_cols = self._pool_V[:, idx]
+        mean_z = K_rows @ self._alpha
+        var_z = self._prior_diag(self._pool_X[idx]) - np.sum(
+            V_cols * V_cols, axis=0
+        )
+        var_z = np.maximum(var_z, 1e-12)
+        if include_noise:
+            var_z = var_z + self._predict_noise()
+        return (
+            mean_z * self._y_std + self._y_mean,
+            var_z * self._y_std**2,
+        )
+
+
+__all__ = ["IncrementalGPMixin"]

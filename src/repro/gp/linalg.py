@@ -77,10 +77,158 @@ def solve_psd(matrix: np.ndarray, b: np.ndarray) -> np.ndarray:
     return cholesky_solve(L, b)
 
 
+def cholesky_append_rows(
+    L: np.ndarray, K_cross: np.ndarray, K_new: np.ndarray
+) -> np.ndarray:
+    """Border-extend a lower-Cholesky factor by ``k`` new rows.
+
+    Given ``L`` with ``L @ L.T = A`` and the blocks of the bordered matrix
+
+        A_ext = [[A,          K_cross],
+                 [K_cross.T,  K_new  ]]
+
+    returns the lower factor ``L_ext`` of ``A_ext`` in O(k n^2) instead of
+    the O((n+k)^3) full refactorization:
+
+        L_ext = [[L,    0  ],
+                 [B.T,  L22]],   B = L^-1 K_cross,
+                                 L22 = chol(K_new - B.T B).
+
+    Args:
+        L: ``(n, n)`` lower-triangular factor of the existing block.
+        K_cross: ``(n, k)`` covariance between existing and new rows.
+        K_new: ``(k, k)`` covariance (plus any noise/jitter diagonal)
+            among the new rows.
+
+    Returns:
+        The ``(n + k, n + k)`` extended lower factor.
+
+    Raises:
+        NotPositiveDefiniteError: If the Schur complement
+            ``K_new - B.T B`` is not positive definite — the caller
+            should fall back to a full (jittered) refactorization.
+    """
+    L = np.asarray(L, dtype=float)
+    K_cross = np.atleast_2d(np.asarray(K_cross, dtype=float))
+    K_new = np.atleast_2d(np.asarray(K_new, dtype=float))
+    n = len(L)
+    k = K_new.shape[0]
+    if K_cross.shape != (n, k) or K_new.shape != (k, k):
+        raise ValueError(
+            f"block shapes mismatch: L {L.shape}, K_cross {K_cross.shape},"
+            f" K_new {K_new.shape}"
+        )
+    B = solve_triangular(L, K_cross, lower=True) if n else K_cross
+    S = K_new - B.T @ B
+    try:
+        L22 = np.linalg.cholesky(S)
+    except np.linalg.LinAlgError as exc:
+        raise NotPositiveDefiniteError(
+            "Schur complement of appended rows is not PD"
+        ) from exc
+    L_ext = np.zeros((n + k, n + k))
+    L_ext[:n, :n] = L
+    L_ext[n:, :n] = B.T
+    L_ext[n:, n:] = L22
+    return L_ext
+
+
+def cholesky_append_row(
+    L: np.ndarray, k_cross: np.ndarray, k_new: float
+) -> np.ndarray:
+    """Rank-1 border update: extend ``L`` by a single new row.
+
+    Convenience wrapper over :func:`cholesky_append_rows` for the common
+    one-observation-per-iteration case.
+
+    Args:
+        L: ``(n, n)`` lower factor.
+        k_cross: Length-``n`` covariance vector against existing rows.
+        k_new: Variance of the new row (plus noise/jitter).
+
+    Returns:
+        The ``(n + 1, n + 1)`` extended lower factor.
+
+    Raises:
+        NotPositiveDefiniteError: If the new diagonal pivot is not
+            positive.
+    """
+    k_cross = np.asarray(k_cross, dtype=float).reshape(-1, 1)
+    return cholesky_append_rows(L, k_cross, np.array([[float(k_new)]]))
+
+
+def cholesky_rank1_update(L: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Factor of ``L @ L.T + v v^T`` in O(n^2) (hyperbolic rotations).
+
+    Args:
+        L: ``(n, n)`` lower factor.
+        v: Length-``n`` update vector.
+
+    Returns:
+        A new lower factor (inputs are not mutated).
+    """
+    L = np.array(L, dtype=float)
+    v = np.array(v, dtype=float).ravel()
+    n = len(v)
+    if L.shape != (n, n):
+        raise ValueError("L and v size mismatch")
+    for i in range(n):
+        r = float(np.hypot(L[i, i], v[i]))
+        c = r / L[i, i]
+        s = v[i] / L[i, i]
+        L[i, i] = r
+        if i + 1 < n:
+            L[i + 1:, i] = (L[i + 1:, i] + s * v[i + 1:]) / c
+            v[i + 1:] = c * v[i + 1:] - s * L[i + 1:, i]
+    return L
+
+
+def cholesky_rank1_downdate(L: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Factor of ``L @ L.T - v v^T`` in O(n^2) (low-rank downdate).
+
+    Used to retract an observation's contribution without refactorizing
+    (e.g. outlier rejection or sliding-window forgetting).
+
+    Args:
+        L: ``(n, n)`` lower factor.
+        v: Length-``n`` downdate vector.
+
+    Returns:
+        A new lower factor (inputs are not mutated).
+
+    Raises:
+        NotPositiveDefiniteError: If the downdated matrix is not
+            positive definite.
+    """
+    L = np.array(L, dtype=float)
+    v = np.array(v, dtype=float).ravel()
+    n = len(v)
+    if L.shape != (n, n):
+        raise ValueError("L and v size mismatch")
+    for i in range(n):
+        r2 = L[i, i] ** 2 - v[i] ** 2
+        if r2 <= 0.0:
+            raise NotPositiveDefiniteError(
+                "rank-1 downdate makes the matrix indefinite"
+            )
+        r = float(np.sqrt(r2))
+        c = r / L[i, i]
+        s = v[i] / L[i, i]
+        L[i, i] = r
+        if i + 1 < n:
+            L[i + 1:, i] = (L[i + 1:, i] - s * v[i + 1:]) / c
+            v[i + 1:] = c * v[i + 1:] - s * L[i + 1:, i]
+    return L
+
+
 __all__ = [
     "DEFAULT_JITTER",
     "NotPositiveDefiniteError",
     "cho_factor",
+    "cholesky_append_row",
+    "cholesky_append_rows",
+    "cholesky_rank1_downdate",
+    "cholesky_rank1_update",
     "cholesky_solve",
     "log_det_from_cholesky",
     "robust_cholesky",

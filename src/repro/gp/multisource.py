@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .incremental import IncrementalGPMixin
 from .kernels import Kernel, RBFKernel
 from .likelihood import gaussian_log_marginal, maximize_objective
 from .linalg import cholesky_solve, robust_cholesky
@@ -30,7 +31,7 @@ _GAMMA_BOUNDS = (-5.0, 4.0)
 _NOISE_BOUNDS = (-12.0, 2.0)
 
 
-class MultiSourceTransferGP:
+class MultiSourceTransferGP(IncrementalGPMixin):
     """Transfer GP over K source tasks and one target task.
 
     Example:
@@ -78,6 +79,7 @@ class MultiSourceTransferGP:
         self._alpha: np.ndarray | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        self._opt_theta: np.ndarray | None = None
 
     # ---- task-correlation helpers -------------------------------------
 
@@ -172,11 +174,59 @@ class MultiSourceTransferGP:
         K = self._full_kernel(X, tasks) + np.diag(
             np.exp(self._log_noise)[tasks]
         )
-        self._L, _ = robust_cholesky(K)
+        self._L, self._jitter = robust_cholesky(K)
         self._alpha = cholesky_solve(self._L, z)
         self._X = X
         self._tasks = tasks
+        self._y_raw = y.copy()
+        self._invalidate_pool_cache()
         return self
+
+    # ---- incremental hooks (see IncrementalGPMixin) -------------------
+
+    def _cross_cov(
+        self, X_query: np.ndarray, rows: slice | None = None
+    ) -> np.ndarray:
+        assert self._kernel is not None
+        assert self._X is not None and self._tasks is not None
+        X_query = np.atleast_2d(X_query)
+        X2 = self._X if rows is None else self._X[rows]
+        tasks2 = self._tasks if rows is None else self._tasks[rows]
+        coeffs = self._coeffs()
+        factors = coeffs[tasks2] * coeffs[-1]
+        factors = np.where(tasks2 == self._n_sources, 1.0, factors)
+        return self._kernel.eval(X_query, X2) * factors[None, :]
+
+    def _cov_new_block(self, X_new: np.ndarray) -> np.ndarray:
+        assert self._kernel is not None and self._log_noise is not None
+        return self._kernel.eval(X_new) + float(
+            np.exp(self._log_noise[-1])
+        ) * np.eye(len(X_new))
+
+    def _cov_full(self) -> np.ndarray:
+        assert self._X is not None and self._tasks is not None
+        assert self._log_noise is not None
+        return self._full_kernel(self._X, self._tasks) + np.diag(
+            np.exp(self._log_noise)[self._tasks]
+        )
+
+    def _prior_diag(self, X_query: np.ndarray) -> np.ndarray:
+        assert self._kernel is not None
+        return self._kernel.diag(np.atleast_2d(X_query))
+
+    def _predict_noise(self) -> float:
+        assert self._log_noise is not None
+        return float(np.exp(self._log_noise[-1]))
+
+    def _append_data(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
+        assert self._X is not None and self._tasks is not None
+        assert self._y_raw is not None
+        self._X = np.vstack([self._X, X_new])
+        self._tasks = np.concatenate([
+            self._tasks,
+            np.full(len(y_new), self._n_sources, dtype=int),
+        ])
+        self._y_raw = np.concatenate([self._y_raw, y_new])
 
     def _full_kernel(self, X: np.ndarray, tasks: np.ndarray) -> np.ndarray:
         assert self._kernel is not None
@@ -241,9 +291,16 @@ class MultiSourceTransferGP:
             assert g is not None
             return -lml, -g
 
+        # Warm-start refits from the previously optimized vector (the
+        # objective mutates the live parameters during evaluation).
         theta0 = np.concatenate([
             kernel.theta, self._log_a, self._log_b, self._log_noise,
         ])
+        if (
+            self._opt_theta is not None
+            and len(self._opt_theta) == len(theta0)
+        ):
+            theta0 = self._opt_theta
         bounds = (
             kernel.bounds()
             + [_GAMMA_BOUNDS] * (2 * n_src)
@@ -257,6 +314,7 @@ class MultiSourceTransferGP:
         self._log_a = best[n_kernel:n_kernel + n_src].copy()
         self._log_b = best[n_kernel + n_src:n_kernel + 2 * n_src].copy()
         self._log_noise = best[n_kernel + 2 * n_src:].copy()
+        self._opt_theta = np.asarray(best, dtype=float).copy()
 
     # ---- prediction ----------------------------------------------------
 

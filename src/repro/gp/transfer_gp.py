@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .incremental import IncrementalGPMixin
 from .kernels import Kernel, RBFKernel
 from .likelihood import gaussian_log_marginal, maximize_objective
 from .linalg import cholesky_solve, robust_cholesky
@@ -33,7 +34,7 @@ SOURCE_TASK = 0
 TARGET_TASK = 1
 
 
-class TransferGP:
+class TransferGP(IncrementalGPMixin):
     """Two-task transfer GP regressor.
 
     Example:
@@ -83,6 +84,7 @@ class TransferGP:
         self._L: np.ndarray | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        self._opt_theta: np.ndarray | None = None
 
     @property
     def noise_source(self) -> float:
@@ -162,11 +164,57 @@ class TransferGP:
             self._optimize_hyperparameters(X, tasks, z)
 
         K = self.transfer_kernel.eval(X, tasks) + self._noise_diag(tasks)
-        self._L, _ = robust_cholesky(K)
+        self._L, self._jitter = robust_cholesky(K)
         self._alpha = cholesky_solve(self._L, z)
         self._X = X
         self._tasks = tasks
+        self._y_raw = y.copy()
+        self._invalidate_pool_cache()
         return self
+
+    # ---- incremental hooks (see IncrementalGPMixin) -------------------
+
+    def _cross_cov(
+        self, X_query: np.ndarray, rows: slice | None = None
+    ) -> np.ndarray:
+        assert self.transfer_kernel is not None
+        assert self._X is not None and self._tasks is not None
+        X_query = np.atleast_2d(X_query)
+        q_tasks = np.full(len(X_query), TARGET_TASK, dtype=int)
+        X2 = self._X if rows is None else self._X[rows]
+        tasks2 = self._tasks if rows is None else self._tasks[rows]
+        return self.transfer_kernel.eval(X_query, q_tasks, X2, tasks2)
+
+    def _cov_new_block(self, X_new: np.ndarray) -> np.ndarray:
+        assert self.transfer_kernel is not None
+        # New rows are all target-task: the transfer factor is 1, so the
+        # within-task base kernel plus the target noise applies.
+        return self.transfer_kernel.base.eval(
+            X_new
+        ) + self.noise_target * np.eye(len(X_new))
+
+    def _cov_full(self) -> np.ndarray:
+        assert self.transfer_kernel is not None
+        assert self._X is not None and self._tasks is not None
+        return self.transfer_kernel.eval(
+            self._X, self._tasks
+        ) + self._noise_diag(self._tasks)
+
+    def _prior_diag(self, X_query: np.ndarray) -> np.ndarray:
+        assert self.transfer_kernel is not None
+        return self.transfer_kernel.base.diag(np.atleast_2d(X_query))
+
+    def _predict_noise(self) -> float:
+        return self.noise_target
+
+    def _append_data(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
+        assert self._X is not None and self._tasks is not None
+        assert self._y_raw is not None
+        self._X = np.vstack([self._X, X_new])
+        self._tasks = np.concatenate([
+            self._tasks, np.full(len(y_new), TARGET_TASK, dtype=int)
+        ])
+        self._y_raw = np.concatenate([self._y_raw, y_new])
 
     def _noise_diag(self, tasks: np.ndarray) -> np.ndarray:
         noise = np.where(
@@ -194,9 +242,19 @@ class TransferGP:
             assert g is not None
             return -lml, -g
 
+        # Warm-start mid-loop refits from the previously *optimized*
+        # hyperparameters rather than whatever the live kernel currently
+        # holds — objective evaluations mutate ``tk.theta`` in place, so
+        # after an aborted or externally perturbed optimization the live
+        # value is not the default init the refit should resume from.
         theta0 = np.concatenate(
             [tk.theta, [self._log_noise_s, self._log_noise_t]]
         )
+        if (
+            self._opt_theta is not None
+            and len(self._opt_theta) == len(theta0)
+        ):
+            theta0 = self._opt_theta
         bounds = tk.bounds() + [_NOISE_BOUNDS, _NOISE_BOUNDS]
         if not has_source:
             # Without source rows the transfer/source-noise parameters are
@@ -211,6 +269,7 @@ class TransferGP:
         tk.theta = best[:-2]
         self._log_noise_s = float(best[-2])
         self._log_noise_t = float(best[-1])
+        self._opt_theta = np.asarray(best, dtype=float).copy()
 
     def predict(
         self, X_new: np.ndarray, include_noise: bool = False

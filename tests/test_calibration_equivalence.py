@@ -1,0 +1,471 @@
+"""Equivalence suite for the incremental calibration engine.
+
+The fast path (rank-1 border updates + cached pool cross-covariance)
+must be numerically indistinguishable from a from-scratch refit: for
+random kernels, noise levels, source/target splits, and append orders,
+posterior mean/variance agree within 1e-8 — including when the border
+update falls back to the exact jittered refactorization.  The
+golden-trajectory test then locks the whole loop: `PPATuner.tune` with
+the engine on selects the same evaluation indices and the same final
+Pareto set as the from-scratch path (guards Eq. (9)-(13) behavior).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PoolOracle, PPATuner, PPATunerConfig
+from repro.gp import (
+    GPRegressor,
+    Matern52Kernel,
+    MultiSourceTransferGP,
+    NotPositiveDefiniteError,
+    RBFKernel,
+    TransferGP,
+    cholesky_append_row,
+    cholesky_append_rows,
+    cholesky_rank1_downdate,
+    cholesky_rank1_update,
+)
+
+TOL = 1e-8
+
+moderate = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_spd(rng, n):
+    A = rng.normal(size=(n, n))
+    return A @ A.T + n * np.eye(n)
+
+
+# ---------------------------------------------------------------------
+# linalg helpers
+# ---------------------------------------------------------------------
+
+
+class TestCholeskyHelpers:
+    @pytest.mark.parametrize("n,k", [(1, 1), (4, 1), (6, 3), (10, 4)])
+    def test_append_rows_matches_full_factorization(self, n, k):
+        rng = np.random.default_rng(n * 31 + k)
+        A = _random_spd(rng, n + k)
+        L = np.linalg.cholesky(A[:n, :n])
+        L_ext = cholesky_append_rows(L, A[:n, n:], A[n:, n:])
+        np.testing.assert_allclose(
+            L_ext, np.linalg.cholesky(A), atol=1e-10
+        )
+
+    def test_append_single_row(self):
+        rng = np.random.default_rng(7)
+        A = _random_spd(rng, 5)
+        L = np.linalg.cholesky(A[:4, :4])
+        L_ext = cholesky_append_row(L, A[:4, 4], float(A[4, 4]))
+        np.testing.assert_allclose(
+            L_ext, np.linalg.cholesky(A), atol=1e-10
+        )
+
+    def test_append_rejects_indefinite_schur_complement(self):
+        L = np.eye(2)
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky_append_rows(
+                L, np.array([[0.9], [0.9]]), np.array([[0.1]])
+            )
+
+    def test_append_shape_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            cholesky_append_rows(
+                np.eye(3), np.zeros((2, 1)), np.eye(1)
+            )
+
+    def test_rank1_update_and_downdate_roundtrip(self):
+        rng = np.random.default_rng(11)
+        A = _random_spd(rng, 6)
+        v = rng.normal(size=6)
+        L = np.linalg.cholesky(A)
+        L_up = cholesky_rank1_update(L, v)
+        np.testing.assert_allclose(
+            L_up @ L_up.T, A + np.outer(v, v), atol=1e-9
+        )
+        L_down = cholesky_rank1_downdate(L_up, v)
+        np.testing.assert_allclose(L_down @ L_down.T, A, atol=1e-9)
+        # Inputs untouched.
+        np.testing.assert_allclose(L, np.linalg.cholesky(A))
+
+    def test_rank1_downdate_rejects_indefinite(self):
+        L = np.linalg.cholesky(np.eye(3))
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky_rank1_downdate(L, np.array([2.0, 0.0, 0.0]))
+
+
+# ---------------------------------------------------------------------
+# property-based posterior equivalence
+# ---------------------------------------------------------------------
+
+
+def _make_kernel(name, d, ls, var):
+    cls = {"rbf": RBFKernel, "matern52": Matern52Kernel}[name]
+    return cls(np.full(d, ls), var)
+
+
+@st.composite
+def calibration_cases(draw):
+    """Random kernel/noise/split/append-order scenarios."""
+    seed = draw(st.integers(0, 10_000))
+    d = draw(st.integers(1, 4))
+    kernel = draw(st.sampled_from(["rbf", "matern52"]))
+    ls = draw(st.floats(0.2, 1.5))
+    var = draw(st.floats(0.3, 3.0))
+    noise = draw(st.floats(1e-4, 1e-1))
+    n_src = draw(st.integers(0, 25))
+    n_t0 = draw(st.integers(1, 6))
+    n_app = draw(st.integers(1, 8))
+    n_batches = draw(st.integers(1, min(3, n_app)))
+    return seed, d, kernel, ls, var, noise, n_src, n_t0, n_app, n_batches
+
+
+def _split_batches(rng, n, k):
+    """Split range(n) into k contiguous non-empty batches, shuffled."""
+    order = rng.permutation(n)
+    cuts = np.sort(rng.choice(np.arange(1, n), size=k - 1, replace=False)) \
+        if k > 1 else np.array([], dtype=int)
+    return np.split(order, cuts)
+
+
+class TestPosteriorEquivalence:
+    @given(calibration_cases())
+    @moderate
+    def test_transfer_gp(self, case):
+        seed, d, kname, ls, var, noise, n_src, n_t0, n_app, n_b = case
+        rng = np.random.default_rng(seed)
+        Xs = rng.uniform(size=(n_src, d))
+        ys = rng.normal(size=n_src)
+        Xt = rng.uniform(size=(n_t0 + n_app, d))
+        yt = rng.normal(size=n_t0 + n_app)
+        Xq = rng.uniform(size=(10, d))
+
+        def make():
+            return TransferGP(
+                kernel=_make_kernel(kname, d, ls, var),
+                noise_source=noise, noise_target=noise,
+                optimize=False,
+            )
+
+        inc = make().fit(Xs, ys, Xt[:n_t0], yt[:n_t0])
+        app = np.arange(n_t0, n_t0 + n_app)
+        for batch in _split_batches(rng, n_app, n_b):
+            ids = app[batch]
+            inc.update(Xt[ids], yt[ids])
+        # From-scratch refit on the same data in the same final order.
+        order = np.concatenate(
+            [np.arange(n_t0)]
+            + [app[b] for b in _split_batches(
+                np.random.default_rng(seed), n_app, n_b
+            )]
+        )
+        ref = make().fit(Xs, ys, Xt[order], yt[order])
+        mi, vi = inc.predict(Xq)
+        mr, vr = ref.predict(Xq)
+        np.testing.assert_allclose(mi, mr, atol=TOL)
+        np.testing.assert_allclose(vi, vr, atol=TOL)
+
+    @given(calibration_cases())
+    @moderate
+    def test_gp_regressor(self, case):
+        seed, d, kname, ls, var, noise, _, n_t0, n_app, n_b = case
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(size=(n_t0 + n_app, d))
+        y = rng.normal(size=n_t0 + n_app)
+        Xq = rng.uniform(size=(10, d))
+
+        def make():
+            return GPRegressor(
+                _make_kernel(kname, d, ls, var),
+                noise_variance=noise, optimize=False,
+            )
+
+        inc = make().fit(X[:n_t0], y[:n_t0])
+        app = np.arange(n_t0, n_t0 + n_app)
+        batches = _split_batches(rng, n_app, n_b)
+        for batch in batches:
+            inc.update(X[app[batch]], y[app[batch]])
+        order = np.concatenate([np.arange(n_t0)] + [app[b] for b in batches])
+        ref = make().fit(X[order], y[order])
+        mi, vi = inc.predict(Xq)
+        mr, vr = ref.predict(Xq)
+        np.testing.assert_allclose(mi, mr, atol=TOL)
+        np.testing.assert_allclose(vi, vr, atol=TOL)
+
+    @given(calibration_cases())
+    @moderate
+    def test_multisource(self, case):
+        seed, d, kname, ls, var, noise, n_src, n_t0, n_app, n_b = case
+        rng = np.random.default_rng(seed)
+        sources = [
+            (rng.uniform(size=(max(n_src, 2), d)),
+             rng.normal(size=max(n_src, 2)))
+            for _ in range(2)
+        ]
+        Xt = rng.uniform(size=(n_t0 + n_app, d))
+        yt = rng.normal(size=n_t0 + n_app)
+        Xq = rng.uniform(size=(10, d))
+
+        def make():
+            return MultiSourceTransferGP(
+                kernel=_make_kernel(kname, d, ls, var),
+                noise=noise, optimize=False,
+            )
+
+        inc = make().fit(sources, Xt[:n_t0], yt[:n_t0])
+        app = np.arange(n_t0, n_t0 + n_app)
+        batches = _split_batches(rng, n_app, n_b)
+        for batch in batches:
+            inc.update(Xt[app[batch]], yt[app[batch]])
+        order = np.concatenate([np.arange(n_t0)] + [app[b] for b in batches])
+        ref = make().fit(sources, Xt[order], yt[order])
+        mi, vi = inc.predict(Xq)
+        mr, vr = ref.predict(Xq)
+        np.testing.assert_allclose(mi, mr, atol=TOL)
+        np.testing.assert_allclose(vi, vr, atol=TOL)
+
+    @given(calibration_cases())
+    @moderate
+    def test_pool_cache_matches_direct_predict(self, case):
+        seed, d, kname, ls, var, noise, n_src, n_t0, n_app, _ = case
+        rng = np.random.default_rng(seed)
+        Xs = rng.uniform(size=(n_src, d))
+        ys = rng.normal(size=n_src)
+        Xt = rng.uniform(size=(n_t0 + n_app, d))
+        yt = rng.normal(size=n_t0 + n_app)
+        pool = rng.uniform(size=(15, d))
+
+        model = TransferGP(
+            kernel=_make_kernel(kname, d, ls, var),
+            noise_source=noise, noise_target=noise, optimize=False,
+        ).fit(Xs, ys, Xt[:n_t0], yt[:n_t0])
+        model.register_pool(pool)
+        # Build the cache, then grow incrementally: the extended cache
+        # must keep matching the direct (uncached) predict.
+        for flag in (False, True):
+            idx = rng.choice(15, size=8, replace=False)
+            mp, vp = model.predict_pool(idx, include_noise=flag)
+            md, vd = model.predict(pool[idx], include_noise=flag)
+            np.testing.assert_allclose(mp, md, atol=TOL)
+            np.testing.assert_allclose(vp, vd, atol=TOL)
+            model.update(Xt[n_t0:], yt[n_t0:])
+
+
+class TestFallbackPath:
+    def _fitted(self):
+        rng = np.random.default_rng(5)
+        Xs = rng.uniform(size=(12, 3))
+        Xt = rng.uniform(size=(6, 3))
+        model = TransferGP(
+            kernel=RBFKernel(np.full(3, 0.4)), optimize=False
+        ).fit(Xs, rng.normal(size=12), Xt, rng.normal(size=6))
+        return model, rng
+
+    def test_forced_fallback_matches_refit(self, monkeypatch):
+        """When the border update is rejected, the exact refactorization
+        produces the same posterior as a from-scratch fit."""
+        model, rng = self._fitted()
+        X_new = rng.uniform(size=(2, 3))
+        y_new = rng.normal(size=2)
+        Xq = rng.uniform(size=(9, 3))
+
+        import repro.gp.incremental as incremental
+
+        def boom(*args, **kwargs):
+            raise NotPositiveDefiniteError("forced")
+
+        monkeypatch.setattr(incremental, "cholesky_append_rows", boom)
+        model.register_pool(Xq)
+        model.predict_pool(np.arange(9))  # warm the cache pre-fallback
+        model.update(X_new, y_new)
+        assert model.last_update_fallback is True
+
+        ref = TransferGP(
+            kernel=RBFKernel(np.full(3, 0.4)), optimize=False
+        ).fit(
+            model._X[model._tasks == 0],
+            model._y_raw[model._tasks == 0],
+            model._X[model._tasks == 1],
+            model._y_raw[model._tasks == 1],
+        )
+        mi, vi = model.predict(Xq)
+        mr, vr = ref.predict(Xq)
+        np.testing.assert_allclose(mi, mr, atol=TOL)
+        np.testing.assert_allclose(vi, vr, atol=TOL)
+        # The invalidated pool cache rebuilds to the same numbers.
+        mp, vp = model.predict_pool(np.arange(9))
+        np.testing.assert_allclose(mp, mi, atol=TOL)
+        np.testing.assert_allclose(vp, vi, atol=TOL)
+
+    def test_near_singular_append_still_equivalent(self):
+        """Appending near-duplicate points (ill-conditioned Schur
+        complement) stays within tolerance of the exact refit whichever
+        path it takes."""
+        model, rng = self._fitted()
+        x_dup = model._X[model._tasks == 1][:1]
+        X_new = np.vstack([x_dup + 1e-9, x_dup + 2e-9])
+        y_new = rng.normal(size=2)
+        Xq = rng.uniform(size=(9, 3))
+        model.update(X_new, y_new)
+        ref = TransferGP(
+            kernel=RBFKernel(np.full(3, 0.4)), optimize=False
+        ).fit(
+            model._X[model._tasks == 0],
+            model._y_raw[model._tasks == 0],
+            model._X[model._tasks == 1],
+            model._y_raw[model._tasks == 1],
+        )
+        mi, vi = model.predict(Xq)
+        mr, vr = ref.predict(Xq)
+        np.testing.assert_allclose(mi, mr, atol=1e-6)
+        np.testing.assert_allclose(vi, vr, atol=1e-6)
+
+    def test_update_validation(self):
+        model, rng = self._fitted()
+        with pytest.raises(ValueError, match="misaligned"):
+            model.update(rng.uniform(size=(2, 3)), np.zeros(3))
+        with pytest.raises(ValueError, match="dimensionality"):
+            model.update(rng.uniform(size=(2, 5)), np.zeros(2))
+        with pytest.raises(RuntimeError, match="before fit"):
+            TransferGP().update(np.zeros((1, 3)), np.zeros(1))
+        # Empty update is a no-op.
+        L_before = model._L.copy()
+        model.update(np.empty((0, 3)), np.empty(0))
+        np.testing.assert_array_equal(model._L, L_before)
+
+
+# ---------------------------------------------------------------------
+# warm-started hyperparameter refits
+# ---------------------------------------------------------------------
+
+
+class TestWarmStart:
+    def test_refit_resumes_from_previous_optimum(self):
+        rng = np.random.default_rng(2)
+        Xs = rng.uniform(size=(20, 3))
+        Xt = rng.uniform(size=(10, 3))
+        model = TransferGP(
+            kernel=RBFKernel(np.full(3, 0.4)), n_restarts=0, seed=0
+        )
+        model.fit(Xs, rng.normal(size=20), Xt, rng.normal(size=10))
+        theta_opt = model._opt_theta.copy()
+        # Perturb the live kernel the way an aborted objective
+        # evaluation would; the refit must resume from the stored
+        # optimum, not the perturbed live value.
+        model.transfer_kernel.theta = theta_opt[:-2] + 2.5
+        with np.errstate(all="ignore"):
+            model._optimize_hyperparameters = (
+                TransferGP._optimize_hyperparameters.__get__(model)
+            )
+        # Refit with a zero-iteration budget: whatever the optimizer
+        # starts from is what it returns.
+        import repro.gp.transfer_gp as transfer_gp_mod
+
+        original = transfer_gp_mod.maximize_objective
+        seen_theta0 = {}
+
+        def spy(objective, theta0, bounds, **kwargs):
+            seen_theta0["value"] = np.asarray(theta0).copy()
+            return original(objective, theta0, bounds, **kwargs)
+
+        transfer_gp_mod.maximize_objective = spy
+        try:
+            model.fit(
+                Xs, rng.normal(size=20), Xt, rng.normal(size=10)
+            )
+        finally:
+            transfer_gp_mod.maximize_objective = original
+        np.testing.assert_allclose(seen_theta0["value"], theta_opt)
+
+
+# ---------------------------------------------------------------------
+# golden trajectory: the engine swap must not move Algorithm 1
+# ---------------------------------------------------------------------
+
+
+class TestGoldenTrajectory:
+    def _run(self, synthetic_pool, incremental, **kw):
+        X, Y, Xs, Ys = synthetic_pool
+        cfg = PPATunerConfig(
+            max_iterations=40, seed=3, incremental=incremental, **kw
+        )
+        tuner = PPATuner(cfg)
+        result = tuner.tune(X, PoolOracle(Y), Xs, Ys)
+        return tuner, result
+
+    def test_same_indices_and_pareto_set(self, synthetic_pool):
+        _, fast = self._run(synthetic_pool, incremental=True)
+        _, slow_ = self._run(synthetic_pool, incremental=False)
+        assert [h.selected for h in fast.history] == [
+            h.selected for h in slow_.history
+        ]
+        np.testing.assert_array_equal(
+            fast.evaluated_indices, slow_.evaluated_indices
+        )
+        np.testing.assert_array_equal(
+            fast.pareto_indices, slow_.pareto_indices
+        )
+        np.testing.assert_allclose(
+            fast.pareto_points, slow_.pareto_points
+        )
+        assert fast.n_evaluations == slow_.n_evaluations
+
+    def test_same_trajectory_multisource(self, synthetic_pool):
+        X, Y, Xs, Ys = synthetic_pool
+        sources = [(Xs[:60], Ys[:60]), (Xs[60:], Ys[60:])]
+
+        def run(incremental):
+            cfg = PPATunerConfig(
+                max_iterations=25, seed=3, incremental=incremental
+            )
+            return PPATuner(cfg).tune(
+                X, PoolOracle(Y), sources=sources
+            )
+
+        fast, slow_ = run(True), run(False)
+        np.testing.assert_array_equal(
+            fast.evaluated_indices, slow_.evaluated_indices
+        )
+        np.testing.assert_array_equal(
+            fast.pareto_indices, slow_.pareto_indices
+        )
+
+    def test_engine_uses_fast_path(self, synthetic_pool):
+        tuner, result = self._run(synthetic_pool, incremental=True)
+        stats = tuner.calibration_.stats
+        assert stats.n_incremental > 0
+        # Full fits only on the re-optimization cadence.
+        m = len(tuner.models_)
+        expected_ticks = 1 + (result.n_iterations - 1) // (
+            tuner.config.effective_reopt_every
+        )
+        assert stats.n_full_fits <= m * (expected_ticks + 1)
+        assert stats.n_reopts >= m
+
+    def test_reopt_never_cadence(self, synthetic_pool):
+        tuner, result = self._run(
+            synthetic_pool, incremental=True, reopt_every=0
+        )
+        stats = tuner.calibration_.stats
+        # One initial (unoptimized) fit per metric, everything else
+        # incremental.
+        assert stats.n_reopts == 0
+        assert stats.n_full_fits == len(tuner.models_)
+        assert len(result.pareto_indices) > 0
+
+    def test_reopt_every_validation(self):
+        with pytest.raises(ValueError, match="reopt_every"):
+            PPATunerConfig(reopt_every=-1)
+        assert PPATunerConfig(reopt_every=None).effective_reopt_every == 10
+        assert PPATunerConfig(
+            refit_every=7, reopt_every=3
+        ).effective_reopt_every == 3

@@ -82,6 +82,46 @@ class TestUncertaintyRegions:
         with pytest.raises(ValueError):
             UncertaintyRegions(lo=np.zeros((2, 2)), hi=np.zeros((3, 2)))
 
+    def test_intersect_empty_indices_is_noop(self):
+        r = UncertaintyRegions.unbounded(3, 2)
+        r.intersect(np.array([0]), np.zeros((1, 2)), np.ones((1, 2)))
+        lo, hi = r.lo.copy(), r.hi.copy()
+        r.intersect(
+            np.array([], dtype=int), np.empty((0, 2)), np.empty((0, 2))
+        )
+        np.testing.assert_array_equal(r.lo, lo)
+        np.testing.assert_array_equal(r.hi, hi)
+
+    def test_intersect_after_empty_intersection_stays_degenerate(self):
+        r = UncertaintyRegions.unbounded(1, 2)
+        idx = np.array([0])
+        r.intersect(idx, np.zeros((1, 2)), np.ones((1, 2)))
+        r.intersect(idx, np.full((1, 2), 5.0), np.full((1, 2), 6.0))
+        assert r.diameters()[0] == 0.0
+        # A further disjoint prediction keeps the collapsed point inside
+        # the previous (degenerate) region — it cannot re-inflate.
+        point = r.lo.copy()
+        r.intersect(idx, np.full((1, 2), -9.0), np.full((1, 2), -8.0))
+        np.testing.assert_array_equal(r.lo, point)
+        np.testing.assert_array_equal(r.hi, point)
+
+    def test_collapse_already_collapsed_repins(self):
+        r = UncertaintyRegions.unbounded(2, 2)
+        r.collapse(0, np.array([1.0, 2.0]))
+        r.collapse(0, np.array([1.0, 2.0]))  # idempotent
+        np.testing.assert_array_equal(r.lo[0], [1.0, 2.0])
+        r.collapse(0, np.array([3.0, 4.0]))  # golden value wins
+        np.testing.assert_array_equal(r.lo[0], [3.0, 4.0])
+        np.testing.assert_array_equal(r.hi[0], [3.0, 4.0])
+        assert r.diameters()[0] == 0.0
+
+    def test_collapse_wrong_shape_rejected(self):
+        r = UncertaintyRegions.unbounded(2, 2)
+        with pytest.raises(ValueError, match="objective values"):
+            r.collapse(0, np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError, match="objective values"):
+            r.collapse(0, np.array([1.0]))
+
 
 class TestPredictionRectangle:
     def test_widths(self):
@@ -100,6 +140,12 @@ class TestPredictionRectangle:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             prediction_rectangle(np.zeros((1, 2)), np.ones((1, 3)), 1.0)
+
+    def test_zero_variance_degenerates_to_point(self):
+        mean = np.array([[1.5, -2.0]])
+        lo, hi = prediction_rectangle(mean, np.zeros((1, 2)), tau=4.0)
+        np.testing.assert_array_equal(lo, mean)
+        np.testing.assert_array_equal(hi, mean)
 
 
 class TestDecisionRules:
