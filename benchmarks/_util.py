@@ -8,20 +8,29 @@ table and figure in minutes:
 - ``PPATUNER_BENCH_SCALE``: target-pool subsample for the Scenario One
   bench (default 600; ``full`` = the paper's 5000 points).
 - ``PPATUNER_FULL=1``: paper-scale MAC designs (see DESIGN.md §2).
+- ``PPATUNER_WORKERS``: process count for cell fan-out (benches pass it
+  through :func:`bench_workers` into the experiment runner).
 
 Every bench prints the regenerated table/series to stdout (run pytest
 with ``-s`` to see them) and records wall-time via pytest-benchmark.
+All tuning cells execute through :class:`repro.runner.ExperimentRunner`,
+the same code path as the CLI, so serial and parallel runs agree
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import os
 
-import numpy as np
-
-from repro.bench import generate_benchmark
-from repro.core import PoolOracle, PPATuner, PPATunerConfig
-from repro.experiments import evaluate_outcome
+from repro.core import PPATunerConfig
+from repro.runner import (
+    DatasetRef,
+    ExperimentRunner,
+    RunJob,
+    RunSpec,
+    config_fingerprint,
+    runner_workers,
+)
 
 
 def scenario_one_scale() -> int | None:
@@ -32,9 +41,59 @@ def scenario_one_scale() -> int | None:
     return int(raw)
 
 
+def bench_workers() -> int:
+    """Worker count for bench fan-out (``PPATUNER_WORKERS`` convention)."""
+    return runner_workers(None)
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def tune_job(
+    target_name: str,
+    source_name: str | None,
+    names: tuple[str, ...],
+    config: PPATunerConfig,
+    scale: int | None = None,
+    seed: int = 0,
+    n_source: int = 200,
+) -> RunJob:
+    """Build one runner ``tune`` cell for a configured PPATuner run.
+
+    Datasets travel as :class:`DatasetRef`s, so parallel workers load
+    them from the benchmark cache by name instead of unpickling arrays.
+    """
+    target_ref = DatasetRef(
+        target_name, subsample=scale, subsample_seed=seed
+    )
+    source_ref = DatasetRef(source_name) if source_name else None
+    spec = RunSpec(
+        kind="tune",
+        scenario="bench_tune",
+        method="PPATuner",
+        objective_space="-".join(names),
+        objectives=tuple(names),
+        n_source=n_source if source_ref is not None else 0,
+        seed=seed,
+        source_id=source_ref.label if source_ref else "",
+        target_id=target_ref.label,
+        config_fingerprint=config_fingerprint(config),
+    )
+    return RunJob(
+        spec=spec, source=source_ref, target=target_ref, ppa_config=config
+    )
+
+
+def ppatuner_outcomes(jobs, workers: int | None = None):
+    """Execute ``tune`` cells through the experiment runner, fanned out.
+
+    Results come back in submission order; ``workers=None`` follows the
+    ``PPATUNER_WORKERS`` convention.
+    """
+    runner = ExperimentRunner(workers=workers, memo=None)
+    return [record.outcome for record in runner.run(list(jobs))]
 
 
 def ppatuner_outcome(
@@ -47,18 +106,8 @@ def ppatuner_outcome(
     n_source: int = 200,
 ):
     """Run PPATuner once on a benchmark pair and score it."""
-    source = generate_benchmark(source_name)
-    target = generate_benchmark(target_name)
-    if scale is not None:
-        target = target.subsample(scale, seed=seed)
-    rng = np.random.default_rng(seed)
-    src_idx = rng.choice(source.n, min(n_source, source.n), replace=False)
-    oracle = PoolOracle(target.objectives(names))
-    result = PPATuner(config).tune(
-        target.X, oracle,
-        X_source=source.X[src_idx],
-        Y_source=source.objectives(names)[src_idx],
+    job = tune_job(
+        target_name, source_name, names, config,
+        scale=scale, seed=seed, n_source=n_source,
     )
-    return evaluate_outcome(
-        "PPATuner", "-".join(names), result, target, names
-    )
+    return ppatuner_outcomes([job], workers=1)[0]

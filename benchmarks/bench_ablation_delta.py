@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.core import PPATunerConfig
 
-from _util import ppatuner_outcome, run_once
+from _util import bench_workers, ppatuner_outcomes, run_once, tune_job
 
 DELTAS = (0.002, 0.01, 0.03, 0.08)
 
@@ -18,13 +18,15 @@ def test_ablation_delta_sweep(benchmark):
     names = ("power", "delay")
 
     def sweep():
-        return {
-            dr: ppatuner_outcome(
+        jobs = [
+            tune_job(
                 "target2", "source2", names,
                 PPATunerConfig(max_iterations=50, seed=0, delta_rel=dr),
             )
             for dr in DELTAS
-        }
+        ]
+        outs = ppatuner_outcomes(jobs, workers=bench_workers())
+        return dict(zip(DELTAS, outs))
 
     rows = run_once(benchmark, sweep)
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.core import PPATunerConfig
 
-from _util import ppatuner_outcome, run_once
+from _util import bench_workers, ppatuner_outcomes, run_once, tune_job
 
 KERNELS = ("rbf", "matern52")
 
@@ -17,13 +17,15 @@ def test_ablation_kernel_family(benchmark):
     names = ("power", "delay")
 
     def sweep():
-        return {
-            k: ppatuner_outcome(
+        jobs = [
+            tune_job(
                 "target2", "source2", names,
                 PPATunerConfig(max_iterations=50, seed=0, kernel=k),
             )
             for k in KERNELS
-        }
+        ]
+        outs = ppatuner_outcomes(jobs, workers=bench_workers())
+        return dict(zip(KERNELS, outs))
 
     rows = run_once(benchmark, sweep)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core import PPATunerConfig
 
-from _util import ppatuner_outcome, run_once
+from _util import bench_workers, ppatuner_outcomes, run_once, tune_job
 
 TAUS = (1.0, 4.0, 16.0, 36.0)
 BATCHES = (1, 2, 4)
@@ -20,13 +20,15 @@ def test_ablation_tau_sweep(benchmark):
     names = ("power", "delay")
 
     def sweep():
-        return {
-            tau: ppatuner_outcome(
+        jobs = [
+            tune_job(
                 "target2", "source2", names,
                 PPATunerConfig(max_iterations=50, seed=0, tau=tau),
             )
             for tau in TAUS
-        }
+        ]
+        outs = ppatuner_outcomes(jobs, workers=bench_workers())
+        return dict(zip(TAUS, outs))
 
     rows = run_once(benchmark, sweep)
 
@@ -43,16 +45,20 @@ def test_ablation_batch_trials(benchmark):
     names = ("power", "delay")
 
     def sweep():
-        out = {}
-        for batch in BATCHES:
-            o = ppatuner_outcome(
+        jobs = [
+            tune_job(
                 "target2", "source2", names,
                 PPATunerConfig(
                     max_iterations=50, seed=0, batch_size=batch
                 ),
             )
-            out[batch] = (o, o.result.n_iterations)
-        return out
+            for batch in BATCHES
+        ]
+        outs = ppatuner_outcomes(jobs, workers=bench_workers())
+        return {
+            batch: (o, o.result.n_iterations)
+            for batch, o in zip(BATCHES, outs)
+        }
 
     rows = run_once(benchmark, sweep)
 

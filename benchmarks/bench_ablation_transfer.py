@@ -12,29 +12,34 @@ import numpy as np
 
 from repro.core import PPATunerConfig
 
-from _util import ppatuner_outcome, run_once
+from _util import bench_workers, ppatuner_outcomes, run_once, tune_job
 
 
 def test_ablation_transfer_on_off(benchmark):
     names = ("power", "delay")
+    variants = (("transfer", True), ("no-transfer", False))
+    seeds = (0, 1, 2)
 
     def run_both():
+        jobs = [
+            tune_job(
+                "target2", "source2", names,
+                PPATunerConfig(
+                    max_iterations=50, seed=seed, transfer=transfer
+                ),
+                seed=seed,
+            )
+            for _, transfer in variants
+            for seed in seeds
+        ]
+        outs = ppatuner_outcomes(jobs, workers=bench_workers())
         rows = {}
-        for label, transfer in (("transfer", True), ("no-transfer", False)):
-            outcomes = [
-                ppatuner_outcome(
-                    "target2", "source2", names,
-                    PPATunerConfig(
-                        max_iterations=50, seed=seed, transfer=transfer
-                    ),
-                    seed=seed,
-                )
-                for seed in (0, 1, 2)
-            ]
+        for v, (label, _) in enumerate(variants):
+            group = outs[v * len(seeds):(v + 1) * len(seeds)]
             rows[label] = (
-                float(np.mean([o.hv_error for o in outcomes])),
-                float(np.mean([o.adrs for o in outcomes])),
-                float(np.mean([o.runs for o in outcomes])),
+                float(np.mean([o.hv_error for o in group])),
+                float(np.mean([o.adrs for o in group])),
+                float(np.mean([o.runs for o in group])),
             )
         return rows
 

@@ -4,22 +4,20 @@ Replays every method's evaluation order and reports the hyper-volume
 error of the best-found front after each tool run — showing when each
 method gets good, not only where it ends (the crossover view the paper's
 tables imply but do not plot).
+
+The per-method traces are independent cells executed through the
+experiment runner (``PPATUNER_WORKERS`` fans them out); curves are
+rebuilt from each cell's extras, so serial and parallel runs agree.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import generate_benchmark
-from repro.core import PoolOracle
-from repro.experiments import make_method
-from repro.experiments.convergence import (
-    convergence_curve,
-    format_convergence_table,
-)
-from repro.experiments.scenarios import PAPER_BUDGET_FRACTIONS
+from repro.experiments import convergence_suite, format_convergence_table
+from repro.runner import DatasetRef
 
-from _util import run_once
+from _util import bench_workers, run_once
 
 METHODS = ("TCAD'19", "MLCAD'19", "DAC'19", "ASPDAC'20", "PPATuner",
            "Random")
@@ -29,31 +27,13 @@ def test_convergence_curves(benchmark):
     names = ("power", "delay")
 
     def run_all():
-        source = generate_benchmark("source2")
-        target = generate_benchmark("target2")
-        rng = np.random.default_rng(0)
-        src_idx = rng.choice(source.n, 200, replace=False)
-        init = rng.choice(target.n, 15, replace=False)
-        curves = []
-        for i, method in enumerate(METHODS):
-            frac = PAPER_BUDGET_FRACTIONS.get(method, {}).get(
-                "target2", 0.1
-            )
-            tuner = make_method(
-                method, max(20, int(frac * target.n)), target.n,
-                seed=97 * i,
-            )
-            oracle = PoolOracle(target.objectives(names))
-            result = tuner.tune(
-                target.X, oracle,
-                X_source=source.X[src_idx],
-                Y_source=source.objectives(names)[src_idx],
-                init_indices=init.copy(),
-            )
-            curves.append(
-                convergence_curve(method, result, target, names)
-            )
-        return curves
+        source_ref = DatasetRef("source2")
+        target_ref = DatasetRef("target2")
+        return convergence_suite(
+            source_ref.resolve(), target_ref.resolve(), names, METHODS,
+            seed=0, workers=bench_workers(),
+            source_ref=source_ref, target_ref=target_ref,
+        )
 
     curves = run_once(benchmark, run_all)
 

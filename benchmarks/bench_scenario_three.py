@@ -13,11 +13,14 @@ from repro.experiments.scenario_three import (
     scenario_three,
 )
 
-from _util import run_once
+from _util import bench_workers, run_once
 
 
 def test_scenario_three_mixed_archives(benchmark):
-    outcomes = run_once(benchmark, lambda: scenario_three(seed=0))
+    outcomes = run_once(
+        benchmark,
+        lambda: scenario_three(seed=0, workers=bench_workers()),
+    )
 
     print("\n=== Scenario Three: mixed-quality archives "
           "(Target2 power-delay) ===")

@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from repro.experiments import format_scenario_table, scenario_one
 
-from _util import run_once, scenario_one_scale
+from _util import bench_workers, run_once, scenario_one_scale
 
 
 def test_table2_scenario_one(benchmark):
     scale = scenario_one_scale()
     result = run_once(
-        benchmark, lambda: scenario_one(scale=scale, seed=0)
+        benchmark,
+        lambda: scenario_one(scale=scale, seed=0, workers=bench_workers()),
     )
 
     print(f"\n=== Table 2: Scenario One (pool={result.pool_size}) ===")

@@ -14,12 +14,13 @@ from __future__ import annotations
 
 from repro.experiments import format_scenario_table, scenario_two
 
-from _util import run_once
+from _util import bench_workers, run_once
 
 
 def test_table3_scenario_two(benchmark):
     result = run_once(
-        benchmark, lambda: scenario_two(scale=None, seed=0)
+        benchmark,
+        lambda: scenario_two(scale=None, seed=0, workers=bench_workers()),
     )
 
     print(f"\n=== Table 3: Scenario Two (pool={result.pool_size}) ===")

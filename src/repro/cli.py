@@ -5,9 +5,17 @@ Commands:
 - ``generate``      build/refresh the offline benchmark tables
 - ``tune``          run PPATuner on one benchmark pair
 - ``scenario``      reproduce a paper table (Scenario One or Two)
+- ``experiments``   run the whole suite through the parallel runner
 - ``sensitivity``   parameter-sensitivity report for one benchmark
 - ``export``        write a generated MAC netlist as structural Verilog
 - ``cache``         inspect/heal the benchmark cache (verify/clear/info)
+
+Scenario/experiment runs fan their independent cells out over a process
+pool (``--workers``, or the ``PPATUNER_WORKERS`` environment variable)
+and memoize completed cells under ``.cache/runs`` (``PPATUNER_RUN_CACHE``
+overrides): a killed invocation re-executes only unfinished cells on
+restart, ``--force`` invalidates and re-runs, ``--no-resume`` disables
+memoization for the invocation.
 """
 
 from __future__ import annotations
@@ -75,8 +83,32 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_runner(args: argparse.Namespace):
+    """Build the memoizing runner shared by scenario/experiments."""
+    from .runner import ExperimentRunner, RunMemo
+
+    memo = RunMemo() if args.resume or args.force else None
+    return ExperimentRunner(
+        workers=args.workers,
+        memo=memo,
+        resume=args.resume,
+        force=args.force,
+        progress=print,
+    )
+
+
+def _parse_methods(raw: str | None) -> tuple[str, ...] | None:
+    if raw is None:
+        return None
+    methods = tuple(m.strip() for m in raw.split(",") if m.strip())
+    if not methods:
+        raise SystemExit("--methods must name at least one method")
+    return methods
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from .experiments import (
+        PAPER_METHODS,
         export_scenario_csv,
         export_scenario_json,
         format_scenario_table,
@@ -84,15 +116,78 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         scenario_two,
     )
 
-    runner = scenario_one if args.which == "one" else scenario_two
-    result = runner(scale=args.scale, seed=args.seed)
-    print(format_scenario_table(result))
+    scenario = scenario_one if args.which == "one" else scenario_two
+    methods = _parse_methods(args.methods) or PAPER_METHODS
+    result = scenario(
+        scale=args.scale,
+        seed=args.seed,
+        methods=methods,
+        repeats=args.repeats,
+        runner=_experiment_runner(args),
+        n_points=args.points,
+    )
+    print(format_scenario_table(result, methods=methods))
     if args.json:
         export_scenario_json(result, args.json)
         print(f"wrote {args.json}")
     if args.csv:
         export_scenario_csv(result, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import (
+        PAPER_METHODS,
+        convergence_suite,
+        format_convergence_table,
+        format_scenario_table,
+        format_scenario_three,
+        scenario_one,
+        scenario_three,
+        scenario_two,
+    )
+    from .runner import DatasetRef, format_telemetry_table
+
+    methods = _parse_methods(args.methods) or PAPER_METHODS
+    runner = _experiment_runner(args)
+
+    print("== Scenario One (Table 2) ==")
+    one = scenario_one(
+        scale=args.scale, seed=args.seed, methods=methods,
+        repeats=args.repeats, runner=runner, n_points=args.points,
+    )
+    print(format_scenario_table(one, methods=methods))
+
+    print("\n== Scenario Two (Table 3) ==")
+    two = scenario_two(
+        scale=args.scale, seed=args.seed, methods=methods,
+        repeats=args.repeats, runner=runner, n_points=args.points,
+    )
+    print(format_scenario_table(two, methods=methods))
+
+    print("\n== Scenario Three (mixed archives) ==")
+    three = scenario_three(
+        seed=args.seed, runner=runner,
+        n_points=args.points, scale=args.scale,
+    )
+    print(format_scenario_three(three))
+
+    print("\n== Anytime convergence (Target2 power-delay) ==")
+    source_ref = DatasetRef("source2", n_points=args.points)
+    target_ref = DatasetRef(
+        "target2", n_points=args.points,
+        subsample=args.scale, subsample_seed=args.seed,
+    )
+    curves = convergence_suite(
+        source_ref.resolve(), target_ref.resolve(),
+        ("power", "delay"), methods, seed=args.seed, runner=runner,
+        source_ref=source_ref, target_ref=target_ref,
+    )
+    print(format_convergence_table(curves))
+
+    print("\n== Telemetry ==")
+    print(format_telemetry_table(runner.history))
     return 0
 
 
@@ -188,13 +283,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_tune)
 
-    p = sub.add_parser("scenario", help="reproduce a paper table")
+    def add_runner_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", type=int, default=None,
+                       help="subsample the target pool")
+        p.add_argument("--points", type=int, default=None,
+                       help="pool-size override for benchmark generation")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--workers", type=int, default=None,
+                       help="process count (default: PPATUNER_WORKERS "
+                            "or the CPU count)")
+        p.add_argument("--repeats", type=int, default=1,
+                       help="independent repeats per cell")
+        p.add_argument("--methods", default=None,
+                       help="comma-separated method subset")
+        p.add_argument("--resume", dest="resume", action="store_true",
+                       default=True,
+                       help="skip memoized cells (default)")
+        p.add_argument("--no-resume", dest="resume",
+                       action="store_false",
+                       help="ignore and do not write the run memo")
+        p.add_argument("--force", action="store_true",
+                       help="invalidate memoized cells and re-run")
+
+    p = sub.add_parser(
+        "scenario", help="reproduce a paper table",
+        description="Cells fan out over --workers processes; completed "
+                    "cells are memoized under .cache/runs so an "
+                    "interrupted run resumes where it stopped.",
+    )
     p.add_argument("which", choices=("one", "two"))
-    p.add_argument("--scale", type=int, default=None)
-    p.add_argument("--seed", type=int, default=0)
+    add_runner_args(p)
     p.add_argument("--json", default=None, help="export records to JSON")
     p.add_argument("--csv", default=None, help="export records to CSV")
     p.set_defaults(func=_cmd_scenario)
+
+    p = sub.add_parser(
+        "experiments",
+        help="run the whole experiment suite through the runner",
+        description="Scenario One + Two tables, the mixed-archive "
+                    "Scenario Three, and the anytime convergence "
+                    "curves, with per-run telemetry.",
+    )
+    p.add_argument("suite", choices=("all",))
+    add_runner_args(p)
+    p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("sensitivity",
                        help="parameter-sensitivity report")

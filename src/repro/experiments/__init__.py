@@ -3,6 +3,7 @@
 from .convergence import (
     ConvergenceCurve,
     convergence_curve,
+    convergence_suite,
     format_convergence_table,
 )
 from .figures import (
@@ -18,11 +19,19 @@ from .reporting import (
     scenario_to_records,
 )
 from .sensitivity import SensitivityReport, analyze_sensitivity
+from .scenario_three import (
+    SCENARIO_THREE_VARIANTS,
+    ScenarioThreeOutcome,
+    format_scenario_three,
+    scenario_three,
+)
 from .scenarios import (
+    ALL_METHODS,
     PAPER_BUDGET_FRACTIONS,
     PAPER_METHODS,
     MethodOutcome,
     ScenarioResult,
+    build_scenario_jobs,
     evaluate_outcome,
     make_method,
     run_scenario,
@@ -31,6 +40,13 @@ from .scenarios import (
 )
 
 __all__ = [
+    "ALL_METHODS",
+    "SCENARIO_THREE_VARIANTS",
+    "ScenarioThreeOutcome",
+    "build_scenario_jobs",
+    "convergence_suite",
+    "format_scenario_three",
+    "scenario_three",
     "ConvergenceCurve",
     "SensitivityReport",
     "analyze_sensitivity",

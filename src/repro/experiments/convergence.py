@@ -52,22 +52,28 @@ def evaluation_order(result: TuningResult) -> np.ndarray:
     """Pool indices in evaluation order.
 
     Uses the per-iteration history when available (PPATuner); falls back
-    to ``evaluated_indices`` order (baselines append in order).
+    to ``evaluated_indices`` order (baselines append in order).  The
+    history dedup is a vectorized first-occurrence pass
+    (``np.unique(..., return_index=True)`` + index sort), preserving the
+    original order semantics.
     """
     if result.history:
-        ordered: list[int] = []
-        seen: set[int] = set()
-        for record in result.history:
-            for idx in record.selected:
-                if idx not in seen:
-                    ordered.append(idx)
-                    seen.add(idx)
+        selected = [
+            np.asarray(record.selected, dtype=int)
+            for record in result.history
+            if len(record.selected)
+        ]
+        if selected:
+            flat = np.concatenate(selected)
+            _, first = np.unique(flat, return_index=True)
+            ordered = flat[np.sort(first)]
+        else:
+            ordered = np.empty(0, dtype=int)
         # Initialization samples are not in history records; prepend
         # whatever is missing, preserving evaluated_indices order.
-        init = [
-            int(i) for i in result.evaluated_indices if int(i) not in seen
-        ]
-        return np.array(init + ordered, dtype=int)
+        evaluated = np.asarray(result.evaluated_indices, dtype=int)
+        init = evaluated[~np.isin(evaluated, ordered)]
+        return np.concatenate([init, ordered])
     return np.asarray(result.evaluated_indices, dtype=int)
 
 
@@ -112,6 +118,88 @@ def convergence_curve(
             front = stacked[non_dominated_mask(stacked)]
         errors[k] = (h_golden - hypervolume(front, reference)) / h_golden
     return ConvergenceCurve(method=method, runs=runs, hv_error=errors)
+
+
+def convergence_suite(
+    source,
+    target,
+    names: tuple[str, ...],
+    methods: tuple[str, ...],
+    budget_key: str = "target2",
+    min_budget: int = 20,
+    seed: int = 0,
+    workers: int | None = 1,
+    runner=None,
+    source_ref=None,
+    target_ref=None,
+) -> list[ConvergenceCurve]:
+    """Trace every method's anytime curve, one runner cell per method.
+
+    Each cell runs its tuner and computes the curve in the worker (the
+    curve rides back in the record extras), so methods trace in
+    parallel under ``workers > 1`` with bit-identical output to the
+    serial order.
+
+    Args:
+        source: Source benchmark.
+        target: Target benchmark pool.
+        names: Objective names.
+        methods: Methods to trace.
+        budget_key: Paper budget-fraction key.
+        min_budget: Floor on each method's tool-run budget.
+        seed: Base seed (order-independent per-cell derivation).
+        workers: Process count (1 = serial).
+        runner: Explicit :class:`~repro.runner.ExperimentRunner`;
+            overrides ``workers``.
+        source_ref/target_ref: Optional cache refs for worker-side
+            dataset resolution.
+
+    Returns:
+        One curve per method, in ``methods`` order.
+    """
+    from ..runner import (
+        ExperimentRunner,
+        RunJob,
+        RunSpec,
+        dataset_id,
+        make_params,
+    )
+
+    source_id = source_ref.label if source_ref else dataset_id(source)
+    target_id = target_ref.label if target_ref else dataset_id(target)
+    jobs = [
+        RunJob(
+            spec=RunSpec(
+                kind="convergence",
+                scenario="convergence",
+                method=method,
+                objective_space="-".join(names),
+                objectives=tuple(names),
+                budget_key=budget_key,
+                n_source=200,
+                seed=seed,
+                source_id=source_id,
+                target_id=target_id,
+                params=make_params(min_budget=min_budget),
+            ),
+            source=source_ref or source,
+            target=target_ref or target,
+        )
+        for method in methods
+    ]
+    if runner is None:
+        runner = ExperimentRunner(workers=workers, memo=None)
+    records = runner.run(jobs)
+    return [
+        ConvergenceCurve(
+            method=record.spec.method,
+            runs=np.asarray(record.extras["curve_runs"], dtype=int),
+            hv_error=np.asarray(
+                record.extras["curve_hv_error"], dtype=float
+            ),
+        )
+        for record in records
+    ]
 
 
 def format_convergence_table(

@@ -14,19 +14,19 @@ input-output relationship) — and compares:
 
 Expected shape: multi-source ~ related-only >> decoy-only ~ no-transfer,
 with the decoy's learned similarity near zero.
+
+The four variants are independent cells executed through
+:class:`~repro.runner.ExperimentRunner` (serial by default, ``workers``
+fans them out); every variant derives the *same* archives from the base
+seed via order-independent spawn keys, so the comparison isolates the
+archive mix, not the draw.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..bench.generate import generate_benchmark
-from ..core import PoolOracle, PPATuner, PPATunerConfig
-from ..pareto.dominance import pareto_front
-from ..pareto.hypervolume import hypervolume_error
-from ..pareto.metrics import adrs
 
 
 @dataclass
@@ -49,86 +49,94 @@ class ScenarioThreeOutcome:
     lambdas: list[list[float]]
 
 
+#: Variant labels, in presentation order.
+SCENARIO_THREE_VARIANTS = (
+    "related-only", "multi-source", "decoy-only", "no-transfer",
+)
+
+
 def scenario_three(
     objective_names: tuple[str, ...] = ("power", "delay"),
     n_source: int = 150,
     max_iterations: int = 50,
     seed: int = 0,
+    workers: int | None = 1,
+    runner=None,
+    n_points: int | None = None,
+    scale: int | None = None,
 ) -> list[ScenarioThreeOutcome]:
     """Run the mixed-archive scenario.
+
+    The decoy archive is a disjoint set of configurations whose QoR
+    rows are shuffled — same marginals, no input-output relationship
+    (built inside each cell, identically for every variant).
 
     Args:
         objective_names: Objective space.
         n_source: Points drawn from each archive.
         max_iterations: PPATuner iteration cap.
         seed: Base seed.
+        workers: Process count for variant fan-out (1 = serial).
+        runner: Explicit :class:`~repro.runner.ExperimentRunner`
+            (memoization/progress); overrides ``workers``.
+        n_points: Benchmark pool-size override (smoke runs).
+        scale: Subsample the target pool to this many points.
 
     Returns:
         One outcome per variant, in presentation order.
     """
-    source = generate_benchmark("source2")
-    target = generate_benchmark("target2")
-    rng = np.random.default_rng(seed)
-    idx = rng.choice(
-        source.n, min(2 * n_source, source.n), replace=False
+    from ..runner import (
+        ExperimentRunner,
+        RunJob,
+        RunSpec,
+        dataset_id,
+        make_params,
     )
-    half = len(idx) // 2
-    Xs = source.X[idx[:half]]
-    Ys = source.objectives(objective_names)[idx[:half]]
-    # The decoy: a disjoint set of configurations whose QoR rows are
-    # shuffled — same marginals, no input-output relationship.
-    Xs_decoy = source.X[idx[half:]]
-    Ys_decoy = source.objectives(objective_names)[idx[half:]][
-        rng.permutation(len(idx) - half)
-    ]
 
-    golden = target.golden_front(objective_names)
-    Y_all = target.objectives(objective_names)
-    worst = Y_all.max(axis=0)
-    best = Y_all.min(axis=0)
-    reference = worst + 0.1 * np.maximum(worst - best, 1e-12)
-
-    variants: list[tuple[str, dict]] = [
-        ("related-only", {"X_source": Xs, "Y_source": Ys}),
-        ("multi-source", {
-            "sources": [(Xs, Ys), (Xs_decoy, Ys_decoy)],
-        }),
-        ("decoy-only", {"X_source": Xs_decoy, "Y_source": Ys_decoy}),
-        ("no-transfer", {}),
-    ]
-
-    outcomes = []
-    for label, kwargs in variants:
-        oracle = PoolOracle(Y_all)
-        tuner = PPATuner(PPATunerConfig(
-            max_iterations=max_iterations, seed=seed,
-        ))
-        result = tuner.tune(target.X, oracle, **kwargs)
-        front = pareto_front(result.pareto_points)
-        lambdas: list[list[float]] = []
-        for model in tuner.models_:
-            if hasattr(model, "lambdas"):
-                try:
-                    lambdas.append(
-                        [float(v) for v in model.lambdas]
-                    )
-                except RuntimeError:
-                    pass
-            elif hasattr(model, "lam") and kwargs:
-                try:
-                    lambdas.append([float(model.lam)])
-                except RuntimeError:
-                    pass
-        outcomes.append(ScenarioThreeOutcome(
-            variant=label,
-            hv_error=float(
-                hypervolume_error(front, golden, reference)
+    if n_points is not None:
+        source = generate_benchmark("source2", n_points=n_points)
+        target = generate_benchmark("target2", n_points=n_points)
+    else:
+        source = generate_benchmark("source2")
+        target = generate_benchmark("target2")
+    if scale:
+        target = target.subsample(scale, seed=seed)
+    space_label = "-".join(objective_names)
+    jobs = [
+        RunJob(
+            spec=RunSpec(
+                kind="scenario_three",
+                scenario="scenario_three",
+                method=variant,
+                objective_space=space_label,
+                objectives=tuple(objective_names),
+                n_source=n_source,
+                seed=seed,
+                source_id=dataset_id(source),
+                target_id=dataset_id(target),
+                params=make_params(max_iterations=max_iterations),
             ),
-            adrs=float(adrs(golden, front)),
-            runs=int(result.n_evaluations),
-            lambdas=lambdas,
-        ))
-    return outcomes
+            source=source,
+            target=target,
+        )
+        for variant in SCENARIO_THREE_VARIANTS
+    ]
+    if runner is None:
+        runner = ExperimentRunner(workers=workers, memo=None)
+    records = runner.run(jobs)
+    return [
+        ScenarioThreeOutcome(
+            variant=record.spec.method,
+            hv_error=record.outcome.hv_error,
+            adrs=record.outcome.adrs,
+            runs=record.outcome.runs,
+            lambdas=[
+                [float(v) for v in per_obj]
+                for per_obj in record.extras.get("lambdas", [])
+            ],
+        )
+        for record in records
+    ]
 
 
 def format_scenario_three(outcomes: list[ScenarioThreeOutcome]) -> str:

@@ -8,11 +8,20 @@ five methods, reporting hyper-volume error, ADRS and tool runs.
 
 Method budgets default to the paper's run counts expressed as fractions
 of the pool (so reduced-scale runs keep the paper's relative budgets).
+
+Every (method, objective-space, repeat) cell is independent and runs
+through :class:`~repro.runner.ExperimentRunner`: serial by default,
+fanned out over a process pool with ``workers > 1``, memoized/resumable
+when the runner carries a :class:`~repro.runner.RunMemo`.  Randomness is
+derived per cell from the base seed with order-independent spawn keys
+(see :mod:`repro.runner.spec`), so the parallel result is bit-identical
+to the serial one; trajectories differ from the pre-runner order-coupled
+serial loop at the same base seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -24,8 +33,7 @@ from ..baselines import (
     Tcad19ActiveLearner,
 )
 from ..bench.dataset import OBJECTIVE_SPACES, BenchmarkDataset
-from ..bench.generate import generate_benchmark
-from ..core import PPATuner, PPATunerConfig, PoolOracle
+from ..core import PPATuner, PPATunerConfig
 from ..core.result import TuningResult
 from ..pareto.dominance import pareto_front
 from ..pareto.hypervolume import hypervolume_error
@@ -44,6 +52,10 @@ PAPER_BUDGET_FRACTIONS: dict[str, dict[str, float]] = {
 #: Methods appearing in the paper's tables, in column order.
 PAPER_METHODS = ("TCAD'19", "MLCAD'19", "DAC'19", "ASPDAC'20", "PPATuner")
 
+#: Every runnable method: the paper's five plus the random-search floor
+#: and the no-transfer PPATuner ablation (extended comparisons).
+ALL_METHODS = PAPER_METHODS + ("Random", "PPATuner-NT")
+
 
 @dataclass
 class MethodOutcome:
@@ -56,6 +68,7 @@ class MethodOutcome:
         adrs: Average distance from reference set (Eq. (3)).
         runs: Tool runs consumed.
         result: The raw tuning result (frontier points for Figure 3).
+        repeat: Repeat index when a cell is run multiple times.
     """
 
     method: str
@@ -64,6 +77,7 @@ class MethodOutcome:
     adrs: float
     runs: int
     result: TuningResult = field(repr=False, default=None)  # type: ignore[assignment]
+    repeat: int = 0
 
 
 @dataclass
@@ -97,17 +111,22 @@ class ScenarioResult:
 
     def averages(self) -> dict[str, tuple[float, float, float]]:
         """Per-method (mean HV error, mean ADRS, mean runs) — the tables'
-        "Average" row."""
-        out: dict[str, tuple[float, float, float]] = {}
-        methods = {o.method for o in self.outcomes}
-        for m in methods:
-            rows = [o for o in self.outcomes if o.method == m]
-            out[m] = (
+        "Average" row.
+
+        A single grouped pass over the outcomes (the per-method rescan
+        was quadratic in method count); repeats average in naturally.
+        """
+        groups: dict[str, list[MethodOutcome]] = {}
+        for o in self.outcomes:
+            groups.setdefault(o.method, []).append(o)
+        return {
+            m: (
                 float(np.mean([r.hv_error for r in rows])),
                 float(np.mean([r.adrs for r in rows])),
                 float(np.mean([r.runs for r in rows])),
             )
-        return out
+            for m, rows in groups.items()
+        }
 
 
 def make_method(
@@ -139,12 +158,14 @@ def make_method(
         return Aspdac20Fist(budget=budget, seed=seed)
     if name == "Random":
         return RandomSearchTuner(budget=budget, seed=seed)
-    if name == "PPATuner":
+    if name in ("PPATuner", "PPATuner-NT"):
         config = ppa_config or PPATunerConfig(
             max_iterations=max(10, int(round(0.07 * pool_size))),
             init_fraction=0.02,
             seed=seed,
         )
+        if name == "PPATuner-NT":
+            config = replace(config, transfer=False)
         return PPATuner(config)
     raise ValueError(f"unknown method {name!r}")
 
@@ -177,6 +198,60 @@ def evaluate_outcome(
     )
 
 
+def build_scenario_jobs(
+    source: BenchmarkDataset,
+    target: BenchmarkDataset,
+    name: str,
+    budget_key: str,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    objective_spaces: dict[str, tuple[str, ...]] | None = None,
+    n_source: int = 200,
+    seed: int = 0,
+    ppa_config: PPATunerConfig | None = None,
+    repeats: int = 1,
+    source_ref: "DatasetRef | None" = None,
+    target_ref: "DatasetRef | None" = None,
+) -> "list[RunJob]":
+    """Expand one scenario into its independent cell jobs.
+
+    When cache refs are given, workers resolve the pools by name through
+    the concurrency-safe benchmark cache instead of unpickling arrays.
+    Repeat indices are the innermost expansion, so
+    :meth:`ScenarioResult.get` keeps returning the repeat-0 cell.
+    """
+    from ..runner import RunJob, RunSpec, config_fingerprint, dataset_id
+
+    spaces = objective_spaces or OBJECTIVE_SPACES
+    fingerprint = config_fingerprint(ppa_config)
+    source_id = source_ref.label if source_ref else dataset_id(source)
+    target_id = target_ref.label if target_ref else dataset_id(target)
+    jobs = []
+    for space_name, names in spaces.items():
+        for method in methods:
+            for rep in range(repeats):
+                spec = RunSpec(
+                    kind="scenario",
+                    scenario=name,
+                    method=method,
+                    objective_space=space_name,
+                    objectives=tuple(names),
+                    budget_key=budget_key,
+                    n_source=n_source,
+                    seed=seed,
+                    repeat=rep,
+                    source_id=source_id,
+                    target_id=target_id,
+                    config_fingerprint=fingerprint,
+                )
+                jobs.append(RunJob(
+                    spec=spec,
+                    source=source_ref or source,
+                    target=target_ref or target,
+                    ppa_config=ppa_config,
+                ))
+    return jobs
+
+
 def run_scenario(
     source: BenchmarkDataset,
     target: BenchmarkDataset,
@@ -187,6 +262,11 @@ def run_scenario(
     n_source: int = 200,
     seed: int = 0,
     ppa_config: PPATunerConfig | None = None,
+    workers: int | None = 1,
+    repeats: int = 1,
+    runner: "ExperimentRunner | None" = None,
+    source_ref: "DatasetRef | None" = None,
+    target_ref: "DatasetRef | None" = None,
 ) -> ScenarioResult:
     """Run every (method, objective-space) combination of one scenario.
 
@@ -201,50 +281,68 @@ def run_scenario(
             three.
         n_source: Source points made available to transfer methods (the
             paper uses 200).
-        seed: Base seed (methods get distinct derived seeds).
-        ppa_config: Optional PPATuner configuration override.
+        seed: Base seed (every cell derives order-independent streams
+            from it, so serial and parallel runs are bit-identical).
+        ppa_config: Optional PPATuner configuration override (its seed
+            is re-derived per cell).
+        workers: Process count (1 = inline serial execution; ``None`` =
+            the ``PPATUNER_WORKERS`` convention).
+        repeats: Independent repeats per cell (distinct derived seeds);
+            :meth:`ScenarioResult.averages` averages across them.
+        runner: Explicit :class:`~repro.runner.ExperimentRunner`
+            (carrying a memo store, progress hook, ...); overrides
+            ``workers``.
+        source_ref: Optional cache ref workers resolve ``source`` from.
+        target_ref: Optional cache ref workers resolve ``target`` from.
 
     Returns:
         A :class:`ScenarioResult`.
     """
-    spaces = objective_spaces or OBJECTIVE_SPACES
-    rng = np.random.default_rng(seed)
-    src_idx = rng.choice(
-        source.n, size=min(n_source, source.n), replace=False
+    from ..runner import ExperimentRunner
+
+    jobs = build_scenario_jobs(
+        source, target, name, budget_key,
+        methods=methods, objective_spaces=objective_spaces,
+        n_source=n_source, seed=seed, ppa_config=ppa_config,
+        repeats=repeats, source_ref=source_ref, target_ref=target_ref,
     )
-    outcomes: list[MethodOutcome] = []
-    for space_name, names in spaces.items():
-        Y_target = target.objectives(names)
-        X_source = source.X[src_idx]
-        Y_source = source.objectives(names)[src_idx]
-        # Shared initial design per objective space so methods start from
-        # the same information.
-        n_init = max(5, int(round(0.02 * target.n)))
-        init = rng.choice(target.n, size=n_init, replace=False)
-        for i, method in enumerate(methods):
-            budget_frac = PAPER_BUDGET_FRACTIONS.get(method, {}).get(
-                budget_key, 0.08
-            )
-            budget = max(n_init + 5, int(round(budget_frac * target.n)))
-            tuner = make_method(
-                method, budget, target.n, seed + 97 * i,
-                ppa_config=ppa_config,
-            )
-            oracle = PoolOracle(Y_target)
-            result = tuner.tune(
-                target.X, oracle,
-                X_source=X_source, Y_source=Y_source,
-                init_indices=init.copy(),
-            )
-            outcomes.append(evaluate_outcome(
-                method, space_name, result, target, names
-            ))
+    if runner is None:
+        runner = ExperimentRunner(workers=workers, memo=None)
+    records = runner.run(jobs)
     return ScenarioResult(
         name=name,
         source=source.name,
         target=target.name,
-        outcomes=outcomes,
+        outcomes=[r.outcome for r in records],
         pool_size=target.n,
+    )
+
+
+def _paper_scenario(
+    which: str,
+    source_name: str,
+    target_name: str,
+    budget_key: str,
+    scale: int | None,
+    seed: int,
+    methods: tuple[str, ...],
+    workers: int | None,
+    repeats: int,
+    runner,
+    n_points: int | None,
+) -> ScenarioResult:
+    """Shared driver for the two paper scenarios (cache-ref fan-out)."""
+    from ..runner import DatasetRef
+
+    source_ref = DatasetRef(source_name, n_points=n_points)
+    target_ref = DatasetRef(
+        target_name, n_points=n_points,
+        subsample=scale, subsample_seed=seed,
+    )
+    return run_scenario(
+        source_ref.resolve(), target_ref.resolve(), which, budget_key,
+        methods=methods, seed=seed, workers=workers, repeats=repeats,
+        runner=runner, source_ref=source_ref, target_ref=target_ref,
     )
 
 
@@ -252,6 +350,10 @@ def scenario_one(
     scale: int | None = None,
     seed: int = 0,
     methods: tuple[str, ...] = PAPER_METHODS,
+    workers: int | None = 1,
+    repeats: int = 1,
+    runner: "ExperimentRunner | None" = None,
+    n_points: int | None = None,
 ) -> ScenarioResult:
     """Paper Table 2: Source1 -> Target1 (same design).
 
@@ -260,14 +362,15 @@ def scenario_one(
             the paper's 5000 points).
         seed: Base seed.
         methods: Methods to run.
+        workers: Process count for cell fan-out.
+        repeats: Independent repeats per cell.
+        runner: Explicit runner (memoization/progress); overrides
+            ``workers``.
+        n_points: Pool-size override for both benchmarks.
     """
-    source = generate_benchmark("source1")
-    target = generate_benchmark("target1")
-    if scale is not None:
-        target = target.subsample(scale, seed=seed)
-    return run_scenario(
-        source, target, "scenario_one", "target1",
-        methods=methods, seed=seed,
+    return _paper_scenario(
+        "scenario_one", "source1", "target1", "target1",
+        scale, seed, methods, workers, repeats, runner, n_points,
     )
 
 
@@ -275,6 +378,10 @@ def scenario_two(
     scale: int | None = None,
     seed: int = 0,
     methods: tuple[str, ...] = PAPER_METHODS,
+    workers: int | None = 1,
+    repeats: int = 1,
+    runner: "ExperimentRunner | None" = None,
+    n_points: int | None = None,
 ) -> ScenarioResult:
     """Paper Table 3: Source2 -> Target2 (similar designs).
 
@@ -282,12 +389,13 @@ def scenario_two(
         scale: Optional target-pool subsample size (None = 727 points).
         seed: Base seed.
         methods: Methods to run.
+        workers: Process count for cell fan-out.
+        repeats: Independent repeats per cell.
+        runner: Explicit runner (memoization/progress); overrides
+            ``workers``.
+        n_points: Pool-size override for both benchmarks.
     """
-    source = generate_benchmark("source2")
-    target = generate_benchmark("target2")
-    if scale is not None:
-        target = target.subsample(scale, seed=seed)
-    return run_scenario(
-        source, target, "scenario_two", "target2",
-        methods=methods, seed=seed,
+    return _paper_scenario(
+        "scenario_two", "source2", "target2", "target2",
+        scale, seed, methods, workers, repeats, runner, n_points,
     )

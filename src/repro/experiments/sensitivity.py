@@ -79,23 +79,57 @@ def _spearman(x: np.ndarray, y: np.ndarray) -> float:
     return float(np.corrcoef(rx, ry)[0, 1])
 
 
+def _metric_sensitivity(
+    args: tuple[np.ndarray, np.ndarray, int, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One metric's (corr, importance, span) columns.
+
+    Top-level so the per-metric analyses can fan out over the
+    experiment runner's process pool.
+    """
+    X, y, n_estimators, seed = args
+    d = X.shape[1]
+    corr = np.zeros(d)
+    imp = GradientBoostingRegressor(
+        n_estimators=n_estimators, seed=seed
+    ).fit(X, y).feature_importances_
+    span = np.zeros(d)
+    for i in range(d):
+        corr[i] = _spearman(X[:, i], y)
+        lo_q, hi_q = np.quantile(X[:, i], [0.25, 0.75])
+        low = y[X[:, i] <= lo_q]
+        high = y[X[:, i] >= hi_q]
+        if len(low) and len(high) and y.mean():
+            span[i] = abs(high.mean() - low.mean()) / abs(y.mean())
+    return corr, imp, span
+
+
 def analyze_sensitivity(
     dataset: BenchmarkDataset,
     metrics: tuple[str, ...] = QOR_METRICS,
     n_estimators: int = 60,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> SensitivityReport:
     """Compute the sensitivity report for one benchmark.
+
+    The per-metric estimators are independent; with ``workers > 1``
+    they fan out over the experiment runner's process pool (results
+    identical to the serial loop).
 
     Args:
         dataset: Offline benchmark to analyse.
         metrics: QoR metrics to include.
         n_estimators: Boosting rounds for the importance model.
         seed: RNG seed for the boosted model.
+        workers: Process count (1 = serial; ``None`` = the
+            ``PPATUNER_WORKERS`` convention).
 
     Returns:
         A :class:`SensitivityReport`.
     """
+    from ..runner import ExperimentRunner
+
     X = dataset.X
     d = X.shape[1]
     m = len(metrics)
@@ -103,21 +137,17 @@ def analyze_sensitivity(
     imp = np.zeros((d, m))
     span = np.zeros((d, m))
 
-    for j, metric in enumerate(metrics):
-        y = dataset.metric_column(metric)
-        model = GradientBoostingRegressor(
-            n_estimators=n_estimators, seed=seed
-        ).fit(X, y)
-        imp[:, j] = model.feature_importances_
-        for i in range(d):
-            corr[i, j] = _spearman(X[:, i], y)
-            lo_q, hi_q = np.quantile(X[:, i], [0.25, 0.75])
-            low = y[X[:, i] <= lo_q]
-            high = y[X[:, i] >= hi_q]
-            if len(low) and len(high) and y.mean():
-                span[i, j] = abs(high.mean() - low.mean()) / abs(
-                    y.mean()
-                )
+    columns = ExperimentRunner(workers=workers, memo=None).map(
+        _metric_sensitivity,
+        [
+            (X, dataset.metric_column(metric), n_estimators, seed)
+            for metric in metrics
+        ],
+    )
+    for j, (corr_j, imp_j, span_j) in enumerate(columns):
+        corr[:, j] = corr_j
+        imp[:, j] = imp_j
+        span[:, j] = span_j
     return SensitivityReport(
         parameter_names=dataset.space.names,
         metric_names=list(metrics),

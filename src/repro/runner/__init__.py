@@ -1,0 +1,42 @@
+"""Parallel experiment runner: hashable run specs, process-pool
+fan-out, resumable memoization, per-run telemetry."""
+
+from .memo import MEMO_VERSION, RunMemo, default_memo_dir
+from .runner import (
+    ExperimentRunner,
+    RunJob,
+    RunRecord,
+    RunTelemetry,
+    format_telemetry_table,
+    runner_workers,
+)
+from .spec import (
+    DatasetRef,
+    RunSpec,
+    config_fingerprint,
+    dataset_id,
+    derive_rng,
+    derive_seed,
+    make_params,
+    stable_token,
+)
+
+__all__ = [
+    "DatasetRef",
+    "ExperimentRunner",
+    "MEMO_VERSION",
+    "RunJob",
+    "RunMemo",
+    "RunRecord",
+    "RunSpec",
+    "RunTelemetry",
+    "config_fingerprint",
+    "dataset_id",
+    "default_memo_dir",
+    "derive_rng",
+    "derive_seed",
+    "format_telemetry_table",
+    "make_params",
+    "runner_workers",
+    "stable_token",
+]

@@ -1,0 +1,283 @@
+"""Cell executors: the single implementation behind serial *and*
+parallel experiment runs.
+
+Each function executes one :class:`~repro.runner.spec.RunSpec` in
+isolation, deriving every random stream it consumes from the spec via
+spawn-key :func:`~repro.runner.spec.derive_rng` — never from a shared
+generator — so the output is bit-identical whether the cell runs inline,
+in a worker process, or in any order relative to its siblings.
+
+Shared-information streams are shared *by key*, not by sequence: all
+methods of one objective space derive the same initial design from
+``(seed, "init", space)``, and all cells of one scenario derive the same
+source subset from ``(seed, "source", n_source)`` — exactly the paper's
+"same starting information" protocol, without order coupling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+
+from .spec import RunSpec, derive_rng, derive_seed
+
+__all__ = ["execute_spec"]
+
+
+def _calibration_counters(tuner) -> dict[str, int]:
+    """Aggregate CalibrationStats counters from a tuner, when present."""
+    engine = getattr(tuner, "calibration_", None)
+    stats = getattr(engine, "stats", None)
+    if stats is None:
+        return {}
+    return {
+        k: int(v) for k, v in dataclasses.asdict(stats).items()
+    }
+
+
+def _source_subset(spec: RunSpec, source):
+    """The scenario-shared source subset (same for every cell)."""
+    rng = derive_rng(spec.seed, "source", spec.n_source)
+    idx = rng.choice(
+        source.n, size=min(spec.n_source, source.n), replace=False
+    )
+    return idx
+
+
+def _shared_init(spec: RunSpec, target) -> np.ndarray:
+    """The per-objective-space shared initial design."""
+    rng = derive_rng(spec.seed, "init", spec.objective_space)
+    n_init = max(5, int(round(0.02 * target.n)))
+    return rng.choice(target.n, size=n_init, replace=False)
+
+
+def _method_config(spec: RunSpec, ppa_config):
+    """Per-cell tuner config: explicit configs get a derived seed so
+    repeats differ and no two cells share a stream."""
+    if ppa_config is None:
+        return None
+    return dataclasses.replace(
+        ppa_config,
+        seed=derive_seed(
+            spec.seed, "method", spec.objective_space, spec.method,
+            spec.repeat,
+        ),
+    )
+
+
+def _run_scenario_cell(spec: RunSpec, source, target, ppa_config):
+    """One (method, objective-space) cell of a paper table."""
+    from ..core import PoolOracle
+    from ..experiments.scenarios import (
+        PAPER_BUDGET_FRACTIONS,
+        evaluate_outcome,
+        make_method,
+    )
+
+    names = spec.objectives
+    src_idx = _source_subset(spec, source)
+    X_source = source.X[src_idx]
+    Y_source = source.objectives(names)[src_idx]
+    init = _shared_init(spec, target)
+    n_init = len(init)
+    budget_frac = PAPER_BUDGET_FRACTIONS.get(spec.method, {}).get(
+        spec.budget_key, 0.08
+    )
+    budget = max(n_init + 5, int(round(budget_frac * target.n)))
+    method_seed = derive_seed(
+        spec.seed, "method", spec.objective_space, spec.method, spec.repeat
+    )
+    tuner = make_method(
+        spec.method, budget, target.n, method_seed,
+        ppa_config=_method_config(spec, ppa_config),
+    )
+    oracle = PoolOracle(target.objectives(names))
+    result = tuner.tune(
+        target.X, oracle,
+        X_source=X_source, Y_source=Y_source,
+        init_indices=init.copy(),
+    )
+    outcome = evaluate_outcome(
+        spec.method, spec.objective_space, result, target, names
+    )
+    outcome.repeat = spec.repeat
+    return outcome, {}, _calibration_counters(tuner)
+
+
+def _run_tune_cell(spec: RunSpec, source, target, ppa_config):
+    """A single configured PPATuner run (ablation sweeps, `_util`)."""
+    from ..core import PoolOracle, PPATuner, PPATunerConfig
+    from ..experiments.scenarios import evaluate_outcome
+
+    names = spec.objectives
+    kwargs = {}
+    if source is not None and spec.n_source > 0:
+        src_idx = _source_subset(spec, source)
+        kwargs = {
+            "X_source": source.X[src_idx],
+            "Y_source": source.objectives(names)[src_idx],
+        }
+    config = ppa_config or PPATunerConfig(seed=spec.seed)
+    tuner = PPATuner(config)
+    oracle = PoolOracle(target.objectives(names))
+    result = tuner.tune(target.X, oracle, **kwargs)
+    outcome = evaluate_outcome(
+        spec.method, spec.objective_space, result, target, names
+    )
+    outcome.repeat = spec.repeat
+    return outcome, {}, _calibration_counters(tuner)
+
+
+def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config):
+    """One mixed-archive variant (Scenario Three).
+
+    Every variant derives the *same* archives from the spec seed, so the
+    comparison isolates the archive mix, not the draw.
+    """
+    import json
+
+    from ..core import PoolOracle, PPATuner, PPATunerConfig
+    from ..experiments.scenarios import evaluate_outcome
+
+    names = spec.objectives
+    rng = derive_rng(spec.seed, "scenario3", "archives")
+    idx = rng.choice(
+        source.n, min(2 * spec.n_source, source.n), replace=False
+    )
+    half = len(idx) // 2
+    Xs = source.X[idx[:half]]
+    Ys = source.objectives(names)[idx[:half]]
+    Xs_decoy = source.X[idx[half:]]
+    Ys_decoy = source.objectives(names)[idx[half:]][
+        rng.permutation(len(idx) - half)
+    ]
+
+    variant_kwargs: dict[str, dict] = {
+        "related-only": {"X_source": Xs, "Y_source": Ys},
+        "multi-source": {
+            "sources": [(Xs, Ys), (Xs_decoy, Ys_decoy)],
+        },
+        "decoy-only": {"X_source": Xs_decoy, "Y_source": Ys_decoy},
+        "no-transfer": {},
+    }
+    if spec.method not in variant_kwargs:
+        raise ValueError(f"unknown scenario-three variant {spec.method!r}")
+    kwargs = variant_kwargs[spec.method]
+
+    max_iterations = int(json.loads(spec.param("max_iterations", "50")))
+    config = ppa_config or PPATunerConfig(
+        max_iterations=max_iterations, seed=spec.seed,
+    )
+    tuner = PPATuner(config)
+    oracle = PoolOracle(target.objectives(names))
+    result = tuner.tune(target.X, oracle, **kwargs)
+
+    lambdas: list[list[float]] = []
+    for model in tuner.models_:
+        if hasattr(model, "lambdas"):
+            try:
+                lambdas.append([float(v) for v in model.lambdas])
+            except RuntimeError:
+                pass
+        elif hasattr(model, "lam") and kwargs:
+            try:
+                lambdas.append([float(model.lam)])
+            except RuntimeError:
+                pass
+    outcome = evaluate_outcome(
+        spec.method, spec.objective_space, result, target, names
+    )
+    outcome.repeat = spec.repeat
+    return outcome, {"lambdas": lambdas}, _calibration_counters(tuner)
+
+
+def _run_convergence_cell(spec: RunSpec, source, target, ppa_config):
+    """One method's anytime convergence trace."""
+    import json
+
+    from ..core import PoolOracle
+    from ..experiments.convergence import convergence_curve
+    from ..experiments.scenarios import (
+        PAPER_BUDGET_FRACTIONS,
+        evaluate_outcome,
+        make_method,
+    )
+
+    names = spec.objectives
+    src_idx = _source_subset(spec, source)
+    init = _shared_init(spec, target)
+    budget_frac = PAPER_BUDGET_FRACTIONS.get(spec.method, {}).get(
+        spec.budget_key, 0.1
+    )
+    min_budget = int(json.loads(spec.param("min_budget", "20")))
+    budget = max(min_budget, int(budget_frac * target.n))
+    method_seed = derive_seed(
+        spec.seed, "method", spec.objective_space, spec.method, spec.repeat
+    )
+    tuner = make_method(
+        spec.method, budget, target.n, method_seed,
+        ppa_config=_method_config(spec, ppa_config),
+    )
+    oracle = PoolOracle(target.objectives(names))
+    result = tuner.tune(
+        target.X, oracle,
+        X_source=source.X[src_idx],
+        Y_source=source.objectives(names)[src_idx],
+        init_indices=init.copy(),
+    )
+    curve = convergence_curve(spec.method, result, target, names)
+    outcome = evaluate_outcome(
+        spec.method, spec.objective_space, result, target, names
+    )
+    outcome.repeat = spec.repeat
+    extras = {
+        "curve_runs": [int(r) for r in curve.runs],
+        "curve_hv_error": [float(e) for e in curve.hv_error],
+    }
+    return outcome, extras, _calibration_counters(tuner)
+
+
+_EXECUTORS = {
+    "scenario": _run_scenario_cell,
+    "tune": _run_tune_cell,
+    "scenario_three": _run_scenario_three_cell,
+    "convergence": _run_convergence_cell,
+}
+
+
+def execute_spec(spec: RunSpec, source, target, ppa_config=None):
+    """Execute one cell and return its :class:`RunRecord`.
+
+    Args:
+        spec: The cell to run.
+        source: Source pool (dataset or ``None``), already resolved.
+        target: Target pool, already resolved.
+        ppa_config: Optional explicit PPATuner configuration.
+
+    Raises:
+        ValueError: For an unknown ``spec.kind``.
+    """
+    from .runner import RunRecord, RunTelemetry
+
+    try:
+        executor = _EXECUTORS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown spec kind {spec.kind!r}") from None
+    start = time.perf_counter()
+    outcome, extras, calibration = executor(
+        spec, source, target, ppa_config
+    )
+    wall = time.perf_counter() - start
+    telemetry = RunTelemetry(
+        wall_time=wall,
+        runs=int(outcome.runs),
+        worker_pid=os.getpid(),
+        calibration=calibration,
+        memoized=False,
+    )
+    return RunRecord(
+        spec=spec, outcome=outcome, telemetry=telemetry, extras=extras
+    )

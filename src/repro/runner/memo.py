@@ -1,0 +1,322 @@
+"""Resumable result memoization for experiment cells.
+
+Completed :class:`~repro.experiments.scenarios.MethodOutcome`s are
+persisted to disk keyed by spec hash, following the BenchmarkStore's
+crash-safety playbook (same-directory temp file + fsync + ``os.replace``
+atomic writes, per-entry ``fcntl`` advisory locks, quarantine-free
+self-healing: a torn or stale entry is deleted and simply re-executed).
+A killed multi-run invocation therefore skips every finished cell on
+restart, and ``--force`` invalidates.
+
+Entry layout (one ``.npz`` per cell under the memo root)::
+
+    .cache/runs/
+        <scenario>-<hash>.npz      arrays + a JSON metadata blob
+        <scenario>-<hash>.npz.lock advisory lock files
+
+The JSON blob records the memo format version, the full spec (verified
+on load — a hash collision or renamed file can never serve the wrong
+cell), scalar outcome fields, iteration history, telemetry and extras;
+sibling arrays carry the index/objective matrices bit-exactly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import tempfile
+import zipfile
+import zlib
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.result import IterationRecord, TuningResult
+from .spec import RunSpec
+
+try:  # advisory locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+log = logging.getLogger(__name__)
+
+#: Memo-format version; bump when the serialized layout changes.
+MEMO_VERSION = 1
+
+#: Prefix of in-flight atomic-write temp files.
+_TMP_PREFIX = ".tmp-"
+
+#: Exceptions a damaged ``.npz`` can raise on load.
+_LOAD_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    ValueError,
+    KeyError,
+    EOFError,
+    OSError,
+    json.JSONDecodeError,
+)
+
+_ARRAY_KEYS = ("pareto_indices", "pareto_points", "evaluated_indices")
+
+
+def default_memo_dir() -> Path:
+    """Directory for memoized run results.
+
+    Honours ``PPATUNER_RUN_CACHE``; defaults to ``<repo>/.cache/runs``.
+    """
+    override = os.environ.get("PPATUNER_RUN_CACHE")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / ".cache" / "runs"
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+class RunMemo:
+    """Disk memoization of completed run records, keyed by spec hash.
+
+    All methods are safe to call concurrently from multiple processes
+    sharing the same memo directory.
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_memo_dir()
+
+    # ------------------------------------------------------------------
+    # keys and locking
+
+    def entry_name(self, spec: RunSpec) -> str:
+        """Memo file name for one spec."""
+        return f"{spec.scenario}-{spec.spec_hash()}.npz"
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """Memo file path for one spec."""
+        return self.root / self.entry_name(spec)
+
+    @contextlib.contextmanager
+    def lock(self, spec: RunSpec) -> Iterator[None]:
+        """Exclusive cross-process lock for one entry (no-op without
+        ``fcntl``)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        lock_path = self.root / f"{self.entry_name(spec)}.lock"
+        with lock_path.open("a") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------
+    # save / load
+
+    def save(self, record) -> Path:
+        """Atomically persist one completed :class:`RunRecord`."""
+        from .runner import RunRecord  # local: avoid import cycle
+
+        assert isinstance(record, RunRecord)
+        outcome = record.outcome
+        result = outcome.result
+        meta = {
+            "version": MEMO_VERSION,
+            "spec": record.spec.to_json(),
+            "method": outcome.method,
+            "objective_space": outcome.objective_space,
+            "hv_error": outcome.hv_error,
+            "adrs": outcome.adrs,
+            "runs": outcome.runs,
+            "n_evaluations": int(result.n_evaluations),
+            "n_iterations": int(result.n_iterations),
+            "stop_reason": result.stop_reason,
+            "history": [
+                {
+                    "iteration": h.iteration,
+                    "n_undecided": h.n_undecided,
+                    "n_pareto": h.n_pareto,
+                    "n_dropped": h.n_dropped,
+                    "n_evaluations": h.n_evaluations,
+                    "max_diameter": h.max_diameter,
+                    "selected": [int(i) for i in h.selected],
+                }
+                for h in result.history
+            ],
+            "telemetry": {
+                "wall_time": record.telemetry.wall_time,
+                "runs": record.telemetry.runs,
+                "worker_pid": record.telemetry.worker_pid,
+                "calibration": dict(record.telemetry.calibration),
+            },
+            "extras": record.extras,
+        }
+        arrays = {
+            "pareto_indices": np.asarray(result.pareto_indices, dtype=int),
+            "pareto_points": np.asarray(
+                result.pareto_points, dtype=float
+            ),
+            "evaluated_indices": np.asarray(
+                result.evaluated_indices, dtype=int
+            ),
+            "meta": np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode("utf-8"),
+                dtype=np.uint8,
+            ),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        target = self.path_for(record.spec)
+        with self.lock(record.spec):
+            fd, tmp = tempfile.mkstemp(
+                prefix=_TMP_PREFIX, suffix=".npz", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez_compressed(fh, **arrays)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, target)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        _fsync_dir(self.root)
+        return target
+
+    def load(self, spec: RunSpec):
+        """Load one memoized record, or ``None``.
+
+        A torn, garbage, version-skewed or wrong-spec file is deleted
+        (self-healing) and ``None`` returned so the caller re-executes;
+        corruption never raises.
+        """
+        from ..experiments.scenarios import MethodOutcome
+        from .runner import RunRecord, RunTelemetry
+
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            if not zipfile.is_zipfile(path):
+                raise zipfile.BadZipFile("not a zip archive")
+            with np.load(path, allow_pickle=False) as data:
+                missing = set(_ARRAY_KEYS + ("meta",)) - set(data.files)
+                if missing:
+                    raise KeyError(f"missing arrays {sorted(missing)}")
+                arrays = {key: data[key] for key in _ARRAY_KEYS}
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            if meta.get("version") != MEMO_VERSION:
+                raise ValueError(
+                    f"memo version {meta.get('version')} != {MEMO_VERSION}"
+                )
+            if meta.get("spec") != spec.to_json():
+                raise ValueError("memo entry does not match spec")
+        except _LOAD_ERRORS as exc:
+            log.warning(
+                "memoized run %s is unusable (%s: %s); re-executing",
+                path, type(exc).__name__, exc,
+            )
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return None
+        result = TuningResult(
+            pareto_indices=arrays["pareto_indices"],
+            pareto_points=arrays["pareto_points"],
+            n_evaluations=int(meta["n_evaluations"]),
+            n_iterations=int(meta["n_iterations"]),
+            history=[
+                IterationRecord(
+                    iteration=h["iteration"],
+                    n_undecided=h["n_undecided"],
+                    n_pareto=h["n_pareto"],
+                    n_dropped=h["n_dropped"],
+                    n_evaluations=h["n_evaluations"],
+                    max_diameter=h["max_diameter"],
+                    selected=list(h["selected"]),
+                )
+                for h in meta["history"]
+            ],
+            evaluated_indices=arrays["evaluated_indices"],
+            stop_reason=meta["stop_reason"],
+        )
+        outcome = MethodOutcome(
+            method=meta["method"],
+            objective_space=meta["objective_space"],
+            hv_error=float(meta["hv_error"]),
+            adrs=float(meta["adrs"]),
+            runs=int(meta["runs"]),
+            result=result,
+            repeat=int(meta["spec"].get("repeat", 0)),
+        )
+        telem = meta.get("telemetry", {})
+        telemetry = RunTelemetry(
+            wall_time=float(telem.get("wall_time", 0.0)),
+            runs=int(telem.get("runs", outcome.runs)),
+            worker_pid=int(telem.get("worker_pid", 0)),
+            calibration=dict(telem.get("calibration", {})),
+            memoized=True,
+        )
+        return RunRecord(
+            spec=spec,
+            outcome=outcome,
+            telemetry=telemetry,
+            extras=dict(meta.get("extras", {})),
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+
+    def invalidate(self, specs: Iterable[RunSpec]) -> int:
+        """Drop the memo entries for ``specs`` (``--force``).
+
+        Returns:
+            The number of entries removed.
+        """
+        removed = 0
+        for spec in specs:
+            path = self.path_for(spec)
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+            with contextlib.suppress(OSError):
+                (self.root / f"{path.name}.lock").unlink()
+        return removed
+
+    def clear(self) -> int:
+        """Remove every memo artifact.
+
+        Returns:
+            The number of files removed.
+        """
+        if not self.root.is_dir():
+            return 0
+        count = 0
+        for pattern in ("*.npz", "*.npz.lock", f"{_TMP_PREFIX}*"):
+            for path in self.root.glob(pattern):
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    count += 1
+        return count
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1 for p in self.root.glob("*.npz")
+            if not p.name.startswith(_TMP_PREFIX)
+        )

@@ -36,6 +36,29 @@ class TestParser:
             ["scenario", "two", "--scale", "50"]
         )
         assert args.which == "two"
+        assert args.workers is None
+        assert args.resume is True
+        assert args.force is False
+
+    def test_scenario_runner_flags(self):
+        args = build_parser().parse_args([
+            "scenario", "one", "--workers", "4", "--repeats", "3",
+            "--no-resume", "--force", "--points", "60",
+            "--methods", "Random,PPATuner",
+        ])
+        assert args.workers == 4
+        assert args.repeats == 3
+        assert args.resume is False
+        assert args.force is True
+        assert args.points == 60
+        assert args.methods == "Random,PPATuner"
+
+    def test_experiments_args(self):
+        args = build_parser().parse_args(
+            ["experiments", "all", "--workers", "2"]
+        )
+        assert args.suite == "all"
+        assert args.workers == 2
 
     def test_sensitivity_args(self):
         args = build_parser().parse_args(["sensitivity", "source2"])
@@ -66,6 +89,44 @@ class TestCommands:
         rc = main(["generate", "target2", "--points", "8"])
         assert rc == 0
         assert "target2" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    """Reduced-scale smoke of the runner-backed scenario command."""
+
+    ARGS = [
+        "scenario", "two", "--points", "30", "--scale", "20",
+        "--methods", "Random", "--seed", "1",
+    ]
+
+    @pytest.fixture(autouse=True)
+    def _isolated_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PPATUNER_CACHE", str(tmp_path / "bench"))
+        monkeypatch.setenv("PPATUNER_RUN_CACHE", str(tmp_path / "runs"))
+
+    def test_parallel_smoke(self, capsys):
+        rc = main(self.ARGS + ["--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Random" in out
+        assert "[1/3]" in out  # one method over three objective spaces
+        assert "(memo)" not in out
+
+    def test_resume_serves_from_memo(self, capsys):
+        assert main(self.ARGS) == 0
+        capsys.readouterr()
+        assert main(self.ARGS) == 0
+        assert "(memo)" in capsys.readouterr().out
+
+    def test_force_reruns(self, capsys):
+        assert main(self.ARGS) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--force"]) == 0
+        assert "(memo)" not in capsys.readouterr().out
+
+    def test_no_resume_skips_memo(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--no-resume"]) == 0
+        assert not list((tmp_path / "runs").glob("*.npz"))
 
 
 class TestCacheCommand:

@@ -44,7 +44,13 @@ class TestScenarioThreeReduced:
     """End-to-end at a toy scale (real benchmarks are bench territory)."""
 
     def test_variants_complete(self, monkeypatch, tiny_benchmark):
-        import repro.experiments.scenario_three as s3
+        import sys
+
+        import repro.experiments.scenario_three  # noqa: F401
+
+        # The package re-exports the scenario_three *function*, which
+        # shadows the submodule attribute — resolve the module itself.
+        s3 = sys.modules["repro.experiments.scenario_three"]
 
         def fake_generate(name):
             if name == "source2":
