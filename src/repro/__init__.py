@@ -3,7 +3,8 @@
 Pareto-driven physical-design tool parameter auto-tuning via Gaussian
 process transfer learning, plus every substrate the paper depends on:
 a simulated PD flow, offline benchmarks, GP/transfer-GP models, Pareto
-metrics, and the four baseline tuners.
+metrics, the four baseline tuners, the parallel experiment runner, and
+the structured observability layer.
 
 Quickstart::
 
@@ -13,42 +14,47 @@ Quickstart::
     target = generate_benchmark("target2")
     oracle = PoolOracle(target.objectives(("power", "delay")))
     result = PPATuner(PPATunerConfig()).tune(target.X, oracle)
+
+Traced run and exact replay::
+
+    from repro import TraceRecorder
+    from repro.obs import JsonlSink, replay_trace
+
+    rec = TraceRecorder(sinks=[JsonlSink("run.jsonl")])
+    PPATuner(PPATunerConfig(), recorder=rec).tune(target.X, oracle)
+    rec.close()
+    replay_trace("run.jsonl").to_result()   # no tool re-runs
+
+The names in ``__all__`` are the stable public API; submodules load
+lazily on first attribute access, so ``import repro`` stays cheap.
 """
 
-from .baselines import (
-    Aspdac20Fist,
-    Dac19Recommender,
-    Mlcad19LcbBayesOpt,
-    RandomSearchTuner,
-    Tcad19ActiveLearner,
-)
-from .core import (
-    FlowOracle,
-    PPATuner,
-    PPATunerConfig,
-    PoolOracle,
-    TuningResult,
-)
-from .gp import GPRegressor, TransferGP, TransferKernel
-from .pareto import adrs, hypervolume, hypervolume_error, pareto_front
-from .pdtool import PDFlow, QoRReport, ToolParameters
+from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: Stable public API.  Everything else should be imported from its
+#: submodule and may move between releases.
 __all__ = [
     "Aspdac20Fist",
     "Dac19Recommender",
+    "ExperimentRunner",
     "FlowOracle",
     "GPRegressor",
+    "MetricsRegistry",
     "Mlcad19LcbBayesOpt",
+    "NullRecorder",
+    "Oracle",
     "PDFlow",
     "PPATuner",
     "PPATunerConfig",
     "PoolOracle",
     "QoRReport",
     "RandomSearchTuner",
+    "RunSpec",
     "Tcad19ActiveLearner",
     "ToolParameters",
+    "TraceRecorder",
     "TransferGP",
     "TransferKernel",
     "TuningResult",
@@ -56,5 +62,82 @@ __all__ = [
     "hypervolume",
     "hypervolume_error",
     "pareto_front",
+    "replay_trace",
     "__version__",
 ]
+
+#: Public name -> defining submodule (PEP 562 lazy imports).
+_EXPORTS = {
+    "Aspdac20Fist": "baselines",
+    "Dac19Recommender": "baselines",
+    "Mlcad19LcbBayesOpt": "baselines",
+    "RandomSearchTuner": "baselines",
+    "Tcad19ActiveLearner": "baselines",
+    "FlowOracle": "core",
+    "Oracle": "core",
+    "PPATuner": "core",
+    "PPATunerConfig": "core",
+    "PoolOracle": "core",
+    "TuningResult": "core",
+    "GPRegressor": "gp",
+    "TransferGP": "gp",
+    "TransferKernel": "gp",
+    "MetricsRegistry": "obs",
+    "NullRecorder": "obs",
+    "TraceRecorder": "obs",
+    "replay_trace": "obs",
+    "adrs": "pareto",
+    "hypervolume": "pareto",
+    "hypervolume_error": "pareto",
+    "pareto_front": "pareto",
+    "PDFlow": "pdtool",
+    "QoRReport": "pdtool",
+    "ToolParameters": "pdtool",
+    "ExperimentRunner": "runner",
+    "RunSpec": "runner",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .baselines import (
+        Aspdac20Fist,
+        Dac19Recommender,
+        Mlcad19LcbBayesOpt,
+        RandomSearchTuner,
+        Tcad19ActiveLearner,
+    )
+    from .core import (
+        FlowOracle,
+        Oracle,
+        PPATuner,
+        PPATunerConfig,
+        PoolOracle,
+        TuningResult,
+    )
+    from .gp import GPRegressor, TransferGP, TransferKernel
+    from .obs import (
+        MetricsRegistry,
+        NullRecorder,
+        TraceRecorder,
+        replay_trace,
+    )
+    from .pareto import adrs, hypervolume, hypervolume_error, pareto_front
+    from .pdtool import PDFlow, QoRReport, ToolParameters
+    from .runner import ExperimentRunner, RunSpec
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

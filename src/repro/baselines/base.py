@@ -14,11 +14,9 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from ..core.oracle import FlowOracle, PoolOracle
+from ..core.oracle import Oracle
 from ..core.result import TuningResult
 from ..pareto.dominance import pareto_indices
-
-Oracle = PoolOracle | FlowOracle
 
 
 class PoolTuner(ABC):

@@ -4,7 +4,7 @@ Source1/Target1 tune 12 parameters of the small MAC design; Source2 tunes
 9 parameters of the same small MAC and Target2 the same 9 on the larger
 MAC.  Ranges are copied from Table 1 ("-" rows excluded per benchmark).
 The paper's ``max_density`` (placement bin cap) and ``max_Density`` (area
-utilization) are distinct knobs; see DESIGN.md §8 for the naming.
+utilization) are distinct knobs; see DESIGN.md §9 for the naming.
 """
 
 from __future__ import annotations

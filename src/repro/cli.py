@@ -9,6 +9,12 @@ Commands:
 - ``sensitivity``   parameter-sensitivity report for one benchmark
 - ``export``        write a generated MAC netlist as structural Verilog
 - ``cache``         inspect/heal the benchmark cache (verify/clear/info)
+- ``trace``         inspect recorded tuning traces (show/summary/diff)
+
+Tracing: ``tune --trace FILE`` records the run's event stream as JSONL;
+``scenario``/``experiments`` accept ``--trace-dir DIR`` to record every
+cell to ``trace-<spec_hash>.jsonl`` in that directory.  Recorded traces
+replay without re-running the tool (``repro trace summary FILE``).
 
 Scenario/experiment runs fan their independent cells out over a process
 pool (``--workers``, or the ``PPATUNER_WORKERS`` environment variable)
@@ -46,6 +52,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .bench import OBJECTIVE_SPACES, generate_benchmark
     from .core import PoolOracle, PPATuner, PPATunerConfig
+    from .obs import NULL_RECORDER, JsonlSink, TraceRecorder
     from .pareto import adrs, hypervolume_error, pareto_front
 
     names = OBJECTIVE_SPACES[args.objectives]
@@ -66,10 +73,20 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             "Y_source": source.objectives(names)[idx],
         }
 
+    recorder = NULL_RECORDER
+    if args.trace:
+        recorder = TraceRecorder(sinks=[JsonlSink(args.trace)])
     config = PPATunerConfig(
         max_iterations=args.max_iterations, seed=args.seed,
     )
-    result = PPATuner(config).tune(target.X, oracle, **kwargs)
+    try:
+        result = PPATuner(config, recorder=recorder).tune(
+            target.X, oracle, **kwargs
+        )
+    finally:
+        recorder.close()
+    if args.trace:
+        print(f"trace: {args.trace} ({recorder.n_emitted} events)")
 
     golden = target.golden_front(names)
     found = pareto_front(result.pareto_points)
@@ -94,6 +111,7 @@ def _experiment_runner(args: argparse.Namespace):
         resume=args.resume,
         force=args.force,
         progress=print,
+        trace_dir=args.trace_dir,
     )
 
 
@@ -252,6 +270,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import diff_traces, format_events, summarize_trace
+
+    if args.action == "show":
+        out = format_events(
+            args.trace,
+            event_type=args.type,
+            iteration=args.iteration,
+            limit=args.limit,
+        )
+        if out:
+            print(out)
+        return 0
+    if args.action == "summary":
+        print(summarize_trace(args.trace))
+        return 0
+    if args.other is None:
+        raise SystemExit("trace diff needs two trace files")
+    print(diff_traces(args.trace, args.other))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -281,6 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-source", type=int, default=200)
     p.add_argument("--max-iterations", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record the run's event stream to a JSONL file")
     p.set_defaults(func=_cmd_tune)
 
     def add_runner_args(p: argparse.ArgumentParser) -> None:
@@ -304,6 +346,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore and do not write the run memo")
         p.add_argument("--force", action="store_true",
                        help="invalidate memoized cells and re-run")
+        p.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="record every cell's event stream to "
+                            "trace-<spec_hash>.jsonl under DIR")
 
     p = sub.add_parser(
         "scenario", help="reproduce a paper table",
@@ -349,6 +394,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("action", choices=("verify", "clear", "info"))
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "trace", help="inspect recorded tuning traces",
+        description="show: print events one per line (filterable); "
+                    "summary: one-screen digest of a recorded run; "
+                    "diff: iteration-aligned comparison of two runs.",
+    )
+    p.add_argument("action", choices=("show", "summary", "diff"))
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("other", nargs="?", default=None,
+                   help="second trace (diff only)")
+    p.add_argument("--type", default=None,
+                   help="show only this event type")
+    p.add_argument("--iteration", type=int, default=None,
+                   help="show only this iteration")
+    p.add_argument("--limit", type=int, default=None,
+                   help="show only the last N events")
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

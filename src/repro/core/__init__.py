@@ -3,7 +3,7 @@
 from .calibration import CalibrationEngine, CalibrationStats
 from .config import PPATunerConfig
 from .decision import apply_decision_rules
-from .oracle import FlowOracle, PoolOracle
+from .oracle import FlowOracle, Oracle, PoolOracle
 from .result import IterationRecord, TuningResult
 from .selection import select_next
 from .tuner import PPATuner
@@ -14,6 +14,7 @@ __all__ = [
     "CalibrationStats",
     "FlowOracle",
     "IterationRecord",
+    "Oracle",
     "PPATuner",
     "PPATunerConfig",
     "PoolOracle",

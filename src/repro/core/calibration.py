@@ -23,10 +23,13 @@ in ``tests/test_calibration_equivalence.py``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.events import CalibrationDone
+from ..obs.recorder import NULL_RECORDER
 from .config import PPATunerConfig
 
 
@@ -68,6 +71,7 @@ class CalibrationEngine:
         sources: list[tuple[np.ndarray, np.ndarray]],
         X_source: np.ndarray,
         Y_source: np.ndarray,
+        recorder=None,
     ) -> None:
         """Create the engine.
 
@@ -78,6 +82,8 @@ class CalibrationEngine:
             sources: Normalized ``(X_k, Y_k)`` archives (multi mode).
             X_source: Stacked normalized source features (two-task mode).
             Y_source: Stacked source objectives (two-task mode).
+            recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`
+                fed one ``CalibrationDone`` per :meth:`calibrate` call.
         """
         self.models = models
         self.config = config
@@ -86,6 +92,7 @@ class CalibrationEngine:
         self.X_source = X_source
         self.Y_source = Y_source
         self.stats = CalibrationStats()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._fitted = False
 
     def register_pool(self, X_pool: np.ndarray) -> None:
@@ -121,9 +128,23 @@ class CalibrationEngine:
             and not reopt
             and all(m.is_fitted for m in self.models)
         )
+        recorder = self.recorder
+        start = time.perf_counter() if recorder else 0.0
+        fallbacks_before = self.stats.n_fallbacks
         if fast:
             if not new_indices:
-                return  # no new evidence; the posterior is current
+                # No new evidence; the posterior is current.
+                if recorder:
+                    recorder.emit(CalibrationDone(
+                        iteration=t,
+                        path="noop",
+                        n_models=len(self.models),
+                        n_new=0,
+                        n_fallbacks=0,
+                        reopt=False,
+                        seconds=time.perf_counter() - start,
+                    ))
+                return
             idx = np.asarray(new_indices, dtype=int)
             X_new = X_pool[idx]
             for j, model in enumerate(self.models):
@@ -131,25 +152,47 @@ class CalibrationEngine:
                 self.stats.n_incremental += 1
                 if model.last_update_fallback:
                     self.stats.n_fallbacks += 1
+            if recorder:
+                recorder.emit(CalibrationDone(
+                    iteration=t,
+                    path="incremental",
+                    n_models=len(self.models),
+                    n_new=len(idx),
+                    n_fallbacks=self.stats.n_fallbacks - fallbacks_before,
+                    reopt=False,
+                    seconds=time.perf_counter() - start,
+                ))
             return
 
         Xt = X_pool[sampled]
         for j, model in enumerate(self.models):
             model.optimize = reopt
+            # Both model kinds share the ``sources`` fit keyword; the
+            # two-task model stacks the pairs into one source task.
             if self.multi:
-                model.fit(
-                    [(Xs, Ys[:, j]) for Xs, Ys in self.sources],
-                    Xt, y_obs[sampled, j],
-                )
+                src_j = [(Xs, Ys[:, j]) for Xs, Ys in self.sources]
             else:
-                model.fit(
-                    self.X_source, self.Y_source[:, j],
-                    Xt, y_obs[sampled, j],
+                src_j = (
+                    [(self.X_source, self.Y_source[:, j])]
+                    if len(self.X_source) else []
                 )
+            model.fit(
+                sources=src_j, X_target=Xt, y_target=y_obs[sampled, j],
+            )
             self.stats.n_full_fits += 1
             if reopt:
                 self.stats.n_reopts += 1
         self._fitted = True
+        if recorder:
+            recorder.emit(CalibrationDone(
+                iteration=t,
+                path="full",
+                n_models=len(self.models),
+                n_new=len(new_indices),
+                n_fallbacks=0,
+                reopt=reopt,
+                seconds=time.perf_counter() - start,
+            ))
 
     def predict(
         self, indices: np.ndarray, include_noise: bool = False

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.events import DecisionSummary
 from ..pareto.dominance import pareto_indices
 from .uncertainty import UncertaintyRegions
 
@@ -93,6 +94,8 @@ def apply_decision_rules(
     pareto: np.ndarray,
     delta: np.ndarray,
     pareto_delta: np.ndarray | None = None,
+    recorder=None,
+    iteration: int = 0,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One decision-making pass over the live candidates.
 
@@ -108,12 +111,47 @@ def apply_decision_rules(
             while a generous classification is corrected by the final
             tool-verification pass — so classifying with a larger δ than
             dropping is the safe direction.
+        recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`
+            fed one ``DecisionSummary`` per pass.
+        iteration: Loop iteration tag for the emitted event.
 
     Returns:
         ``(newly_dropped, newly_pareto)`` index arrays (disjoint).
     """
     undecided = np.asarray(undecided, dtype=bool)
     pareto = np.asarray(pareto, dtype=bool)
+    newly_dropped, newly_pareto = _decide(
+        regions, undecided, pareto, delta, pareto_delta
+    )
+    if recorder:
+        n = len(undecided)
+        n_dropped = (
+            n - int(undecided.sum()) - int(pareto.sum())
+            + len(newly_dropped)
+        )
+        recorder.emit(DecisionSummary(
+            iteration=iteration,
+            n_live=n - n_dropped,
+            n_undecided=(
+                int(undecided.sum()) - len(newly_dropped)
+                - len(newly_pareto)
+            ),
+            n_pareto=int(pareto.sum()) + len(newly_pareto),
+            n_dropped=n_dropped,
+            newly_dropped=len(newly_dropped),
+            newly_pareto=len(newly_pareto),
+        ))
+    return newly_dropped, newly_pareto
+
+
+def _decide(
+    regions: UncertaintyRegions,
+    undecided: np.ndarray,
+    pareto: np.ndarray,
+    delta: np.ndarray,
+    pareto_delta: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The decision pass proper (see :func:`apply_decision_rules`)."""
     delta = np.asarray(delta, dtype=float).ravel()
     if delta.shape != (regions.m,):
         raise ValueError(

@@ -7,17 +7,71 @@ experiments: candidates are the rows of an offline benchmark table, and
 :class:`FlowOracle` invokes the live simulated tool, for use outside the
 benchmark protocol (e.g. the examples).
 
+The stable contract both satisfy — and the one :class:`PPATuner
+<repro.core.tuner.PPATuner>` and every baseline are typed against — is
+the :class:`Oracle` protocol.  Third-party oracles (a real EDA tool, an
+RPC service) only need to implement it; no inheritance and no
+``isinstance`` checks against concrete classes anywhere in the loop.
+
 Every oracle counts evaluations — the paper's cost metric ("Runs").
-Re-evaluating an index is served from cache and not recounted.
+Re-evaluating an index is served from cache and not recounted.  Both
+built-in oracles also emit a :class:`~repro.obs.events.ToolEvaluation`
+trace event per ``evaluate`` call (latency, cache hit, observed vector)
+when given a :class:`~repro.obs.recorder.TraceRecorder`; the default
+null recorder makes the disabled path one truthiness check.
 """
 
 from __future__ import annotations
 
+import time
+from typing import Protocol, runtime_checkable
+
 import numpy as np
 
+from ..obs.events import ToolEvaluation
+from ..obs.recorder import NULL_RECORDER
 from ..pdtool.flow import PDFlow
 from ..pdtool.params import ToolParameters
 from ..space.space import Configuration
+
+__all__ = ["FlowOracle", "Oracle", "PoolOracle"]
+
+
+@runtime_checkable
+class Oracle(Protocol):
+    """The evaluation contract of the tuning loop.
+
+    Implementations map a fixed candidate pool (by index) to golden
+    objective vectors, count distinct tool runs, and can be reset for a
+    fresh tuning run.
+    """
+
+    @property
+    def n_candidates(self) -> int:
+        """Pool size."""
+        ...
+
+    @property
+    def n_objectives(self) -> int:
+        """Number of QoR metrics."""
+        ...
+
+    @property
+    def n_evaluations(self) -> int:
+        """Distinct tool runs so far (the paper's 'Runs')."""
+        ...
+
+    def evaluate(self, index: int) -> np.ndarray:
+        """Golden QoR vector of pool candidate ``index``."""
+        ...
+
+    def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Row-per-index golden QoR matrix, in ``indices`` order."""
+        ...
+
+    def reset(self) -> None:
+        """Forget the evaluation count (fresh tuning run)."""
+        ...
 
 
 class PoolOracle:
@@ -25,14 +79,21 @@ class PoolOracle:
 
     Attributes:
         Y: ``(n, m)`` golden objective matrix (minimization).
+        recorder: Trace recorder fed one ``ToolEvaluation`` per call.
     """
 
-    def __init__(self, Y: np.ndarray) -> None:
-        """Wrap the golden table ``Y``."""
+    def __init__(self, Y: np.ndarray, recorder=None) -> None:
+        """Wrap the golden table ``Y``.
+
+        Args:
+            Y: ``(n, m)`` objective matrix.
+            recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`.
+        """
         self.Y = np.atleast_2d(np.asarray(Y, dtype=float))
         if self.Y.size == 0:
             raise ValueError("empty objective table")
         self._evaluated: set[int] = set()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     @property
     def n_candidates(self) -> int:
@@ -57,11 +118,25 @@ class PoolOracle:
         """
         if not 0 <= index < self.n_candidates:
             raise IndexError(f"candidate {index} out of range")
-        self._evaluated.add(int(index))
+        index = int(index)
+        if self.recorder:
+            start = time.perf_counter()
+            cached = index in self._evaluated
+            self._evaluated.add(index)
+            value = self.Y[index].copy()
+            self.recorder.emit(ToolEvaluation(
+                index=index,
+                seconds=time.perf_counter() - start,
+                cached=cached,
+                oracle="pool",
+                values=[float(v) for v in value],
+            ))
+            return value
+        self._evaluated.add(index)
         return self.Y[index].copy()
 
     def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`evaluate`."""
+        """Vectorized :meth:`evaluate`; rows follow ``indices`` order."""
         return np.vstack([self.evaluate(int(i)) for i in indices])
 
     def reset(self) -> None:
@@ -76,6 +151,7 @@ class FlowOracle:
         flow: The tool instance.
         configs: Pool of tool configurations, by index.
         objective_names: QoR metrics to extract from each report.
+        recorder: Trace recorder fed one ``ToolEvaluation`` per call.
     """
 
     def __init__(
@@ -83,6 +159,7 @@ class FlowOracle:
         flow: PDFlow,
         configs: list[ToolParameters] | list[Configuration],
         objective_names: tuple[str, ...] = ("power", "delay"),
+        recorder=None,
     ) -> None:
         """Create the oracle.
 
@@ -91,6 +168,7 @@ class FlowOracle:
             configs: Candidate configurations (``ToolParameters`` or
                 plain dicts of tool-parameter fields).
             objective_names: Report fields to minimize.
+            recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`.
         """
         if not configs:
             raise ValueError("empty configuration pool")
@@ -102,6 +180,7 @@ class FlowOracle:
         ]
         self.objective_names = tuple(objective_names)
         self._cache: dict[int, np.ndarray] = {}
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     @property
     def n_candidates(self) -> int:
@@ -123,13 +202,32 @@ class FlowOracle:
         if not 0 <= index < self.n_candidates:
             raise IndexError(f"candidate {index} out of range")
         index = int(index)
-        if index not in self._cache:
+        start = time.perf_counter()
+        cached = index in self._cache
+        if not cached:
             report = self.flow.run(self.configs[index])
             self._cache[index] = np.array(
                 report.objectives(self.objective_names)
             )
-        return self._cache[index].copy()
+        value = self._cache[index].copy()
+        if self.recorder:
+            self.recorder.emit(ToolEvaluation(
+                index=index,
+                seconds=time.perf_counter() - start,
+                cached=cached,
+                oracle="flow",
+                values=[float(v) for v in value],
+            ))
+        return value
 
     def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`evaluate`."""
+        """Vectorized :meth:`evaluate`; rows follow ``indices`` order."""
         return np.vstack([self.evaluate(int(i)) for i in indices])
+
+    def reset(self) -> None:
+        """Drop the run cache and evaluation count (fresh tuning run).
+
+        Subsequent evaluations invoke the flow again — the simulated
+        tool is deterministic, but a reset run pays its runtime anew.
+        """
+        self._cache.clear()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.events import SelectionMade
 from .uncertainty import UncertaintyRegions
 
 
@@ -18,6 +19,8 @@ def select_next(
     regions: UncertaintyRegions,
     eligible: np.ndarray,
     batch_size: int = 1,
+    recorder=None,
+    iteration: int = 0,
 ) -> np.ndarray:
     """Pick the next configurations to evaluate.
 
@@ -26,6 +29,10 @@ def select_next(
         eligible: Mask of candidates that may be selected (live and
             unsampled).
         batch_size: How many to select.
+        recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`
+            fed one ``SelectionMade`` per call (with the chosen
+            candidates' rectangle diameters).
+        iteration: Loop iteration tag for the emitted event.
 
     Returns:
         Up to ``batch_size`` candidate indices, longest diameter first
@@ -34,9 +41,18 @@ def select_next(
     eligible = np.asarray(eligible, dtype=bool)
     ids = np.nonzero(eligible)[0]
     if len(ids) == 0 or batch_size < 1:
-        return np.empty(0, dtype=int)
-    diam = regions.diameters()[ids]
-    # Unbounded (never-predicted) regions have infinite diameter and are
-    # naturally prioritized.
-    order = np.argsort(-diam, kind="stable")
-    return ids[order[:batch_size]]
+        chosen = np.empty(0, dtype=int)
+    else:
+        diam = regions.diameters()[ids]
+        # Unbounded (never-predicted) regions have infinite diameter and
+        # are naturally prioritized.
+        order = np.argsort(-diam, kind="stable")
+        chosen = ids[order[:batch_size]]
+    if recorder:
+        all_diam = regions.diameters()
+        recorder.emit(SelectionMade(
+            iteration=iteration,
+            selected=[int(i) for i in chosen],
+            diameters=[float(all_diam[int(i)]) for i in chosen],
+        ))
+    return chosen

@@ -6,25 +6,55 @@ QoR metric on all source data plus the target evaluations so far,
 (2) shrinks per-candidate uncertainty hyper-rectangles, (3) drops
 δ-dominated candidates and classifies δ-accurate Pareto candidates, and
 (4) sends the largest-uncertainty live candidate(s) to the tool.
+
+The tuner accepts any object satisfying the
+:class:`~repro.core.oracle.Oracle` protocol and, when given a
+:class:`~repro.obs.recorder.TraceRecorder`, emits the full
+:mod:`repro.obs` event stream (run/iteration brackets, calibration,
+decision, selection, and — via the oracle — every tool evaluation), from
+which the run replays exactly.
 """
 
 from __future__ import annotations
+
+import time
+import warnings
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..gp.kernels import make_kernel
 from ..gp.multisource import MultiSourceTransferGP
 from ..gp.transfer_gp import TransferGP
+from ..obs.events import IterationEnd, IterationStart, RunEnd, RunStart
+from ..obs.recorder import NULL_RECORDER
 from ..pareto.dominance import pareto_indices as pareto_rows
 from .calibration import CalibrationEngine
 from .config import PPATunerConfig
 from .decision import apply_decision_rules
-from .oracle import FlowOracle, PoolOracle
 from .result import IterationRecord, TuningResult
 from .selection import select_next
 from .uncertainty import UncertaintyRegions, prediction_rectangle
 
-Oracle = PoolOracle | FlowOracle
+if TYPE_CHECKING:  # pragma: no cover
+    from .oracle import Oracle
+
+
+def __getattr__(name: str):
+    # ``repro.core.tuner.Oracle`` used to be a concrete union alias
+    # (PoolOracle | FlowOracle); the contract now lives in
+    # ``repro.core.oracle.Oracle`` as a structural protocol.
+    if name == "Oracle":
+        warnings.warn(
+            "importing Oracle from repro.core.tuner is deprecated; "
+            "use repro.core.oracle.Oracle (a typing.Protocol)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .oracle import Oracle
+
+        return Oracle
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class PPATuner:
@@ -35,21 +65,28 @@ class PPATuner:
         >>> result = tuner.tune(X_pool, oracle, X_src, Y_src)  # doctest: +SKIP
     """
 
-    def __init__(self, config: PPATunerConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: PPATunerConfig | None = None,
+        recorder=None,
+    ) -> None:
         """Create the tuner.
 
         Args:
             config: Loop hyperparameters (defaults are the repo's
                 reference settings; see :class:`PPATunerConfig`).
+            recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`;
+                defaults to the allocation-free null recorder.
         """
         self.config = config or PPATunerConfig()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.models_: list[TransferGP | MultiSourceTransferGP] = []
         self.calibration_: CalibrationEngine | None = None
 
     def tune(
         self,
         X_pool: np.ndarray,
-        oracle: Oracle,
+        oracle: "Oracle",
         X_source: np.ndarray | None = None,
         Y_source: np.ndarray | None = None,
         init_indices: np.ndarray | None = None,
@@ -61,7 +98,8 @@ class PPATuner:
             X_pool: ``(n, d)`` raw feature matrix of the target-task
                 candidate configurations.
             oracle: Evaluation oracle over the same pool (row order must
-                match).
+                match); anything satisfying the
+                :class:`~repro.core.oracle.Oracle` protocol.
             X_source: ``(N, d)`` source-task features (the historical
                 dataset ``D^S``); omit to tune without transfer.
             Y_source: ``(N, m)`` source-task golden objectives.
@@ -81,7 +119,36 @@ class PPATuner:
             ValueError: On shape mismatches or conflicting source
                 arguments.
         """
+        rec = self.recorder
+        # If the oracle has no recorder of its own, adopt it into this
+        # run's trace so tool evaluations land in the same stream.
+        adopted = (
+            rec
+            and hasattr(oracle, "recorder")
+            and not getattr(oracle, "recorder")
+        )
+        if adopted:
+            oracle.recorder = rec
+        try:
+            return self._tune(
+                X_pool, oracle, X_source, Y_source, init_indices, sources
+            )
+        finally:
+            if adopted:
+                oracle.recorder = NULL_RECORDER
+
+    def _tune(
+        self,
+        X_pool: np.ndarray,
+        oracle: "Oracle",
+        X_source: np.ndarray | None,
+        Y_source: np.ndarray | None,
+        init_indices: np.ndarray | None,
+        sources: list[tuple[np.ndarray, np.ndarray]] | None,
+    ) -> TuningResult:
         cfg = self.config
+        rec = self.recorder
+        run_clock = time.perf_counter()
         rng = np.random.default_rng(cfg.seed)
         X_pool = np.atleast_2d(np.asarray(X_pool, dtype=float))
         n = len(X_pool)
@@ -163,6 +230,16 @@ class PPATuner:
             np.asarray(cfg.delta_rel, dtype=float), (m,)
         ) * obj_range
 
+        if rec:
+            rec.emit(RunStart(
+                n_candidates=n,
+                n_objectives=m,
+                seed=cfg.seed,
+                n_init=len(init_indices),
+                n_sources=len(source_list),
+                delta=[float(d) for d in delta],
+            ))
+
         if multi:
             self.models_ = [
                 MultiSourceTransferGP(
@@ -194,7 +271,7 @@ class PPATuner:
 
         engine = CalibrationEngine(
             self.models_, cfg, multi=multi, sources=Xn_sources,
-            X_source=Xn_source, Y_source=Y_source,
+            X_source=Xn_source, Y_source=Y_source, recorder=rec,
         )
         engine.register_pool(Xn_pool)
         self.calibration_ = engine
@@ -218,6 +295,14 @@ class PPATuner:
                 stop_reason = "all_decided"
                 break
 
+            if rec:
+                rec.emit(IterationStart(
+                    iteration=t,
+                    n_undecided=int(undecided.sum()),
+                    n_pareto=int(pareto.sum()),
+                    n_dropped=int(dropped.sum()),
+                ))
+
             # ---- Model calibration (lines 4-6). ----
             # The engine picks the exact path (full refit, on the
             # re-optimization cadence) or the incremental fast path
@@ -235,13 +320,17 @@ class PPATuner:
             newly_dropped, newly_pareto = apply_decision_rules(
                 regions, undecided, pareto, delta,
                 pareto_delta=cfg.pareto_delta_scale * delta,
+                recorder=rec, iteration=t,
             )
             dropped[newly_dropped] = True
             pareto[newly_pareto] = True
 
             # ---- Selection (lines 10-11). ----
             eligible = (~dropped) & (~sampled)
-            chosen = select_next(regions, eligible, cfg.batch_size)
+            chosen = select_next(
+                regions, eligible, cfg.batch_size,
+                recorder=rec, iteration=t,
+            )
             for idx in chosen:
                 y_obs[idx] = oracle.evaluate(int(idx))
                 sampled[idx] = True
@@ -254,7 +343,7 @@ class PPATuner:
                 float(regions.diameters()[bounded].max())
                 if bounded.any() else float("nan")
             )
-            history.append(IterationRecord(
+            record = IterationRecord(
                 iteration=t,
                 n_undecided=int((~dropped & ~pareto).sum()),
                 n_pareto=int(pareto.sum()),
@@ -262,7 +351,18 @@ class PPATuner:
                 n_evaluations=oracle.n_evaluations,
                 max_diameter=max_diam,
                 selected=[int(i) for i in chosen],
-            ))
+            )
+            history.append(record)
+            if rec:
+                rec.emit(IterationEnd(
+                    iteration=record.iteration,
+                    n_undecided=record.n_undecided,
+                    n_pareto=record.n_pareto,
+                    n_dropped=record.n_dropped,
+                    n_evaluations=record.n_evaluations,
+                    max_diameter=record.max_diameter,
+                    selected=list(record.selected),
+                ))
             if len(chosen) == 0 and not (~dropped & ~pareto).any():
                 stop_reason = "all_decided"
                 break
@@ -284,13 +384,25 @@ class PPATuner:
             oracle.evaluate(int(i)) for i in pareto_idx
         ]) if len(pareto_idx) else np.empty((0, m))
 
+        evaluated = np.nonzero(sampled)[0]
+        if rec:
+            rec.emit(RunEnd(
+                stop_reason=stop_reason,
+                n_iterations=len(history),
+                n_evaluations=loop_runs,
+                seconds=time.perf_counter() - run_clock,
+                pareto_indices=[int(i) for i in pareto_idx],
+                evaluated_indices=[int(i) for i in evaluated],
+            ))
+            rec.flush()
+
         return TuningResult(
             pareto_indices=pareto_idx,
             pareto_points=pareto_pts,
             n_evaluations=loop_runs,
             n_iterations=len(history),
             history=history,
-            evaluated_indices=np.nonzero(sampled)[0],
+            evaluated_indices=evaluated,
             stop_reason=stop_reason,
         )
 

@@ -111,23 +111,44 @@ class MultiSourceTransferGP(IncrementalGPMixin):
 
     def fit(
         self,
-        sources: list[tuple[np.ndarray, np.ndarray]],
-        X_target: np.ndarray,
-        y_target: np.ndarray,
+        sources: list[tuple[np.ndarray, np.ndarray]] | None = None,
+        X_target: np.ndarray | None = None,
+        y_target: np.ndarray | None = None,
+        *,
+        Xs: list[tuple[np.ndarray, np.ndarray]] | None = None,
     ) -> "MultiSourceTransferGP":
         """Fit on K source datasets plus the target data.
 
         Args:
-            sources: List of ``(X_s, y_s)`` pairs (may be empty).
+            sources: List of ``(X_s, y_s)`` pairs (may be empty) — the
+                keyword shared with :class:`~repro.gp.transfer_gp.TransferGP`.
             X_target: ``(M, d)`` target inputs.
             y_target: Length-``M`` target values.
+            Xs: Deprecated alias for ``sources``.
 
         Returns:
             ``self``.
 
         Raises:
-            ValueError: On shape problems or empty target data.
+            ValueError: On shape problems, empty target data, or
+                conflicting source arguments.
         """
+        if Xs is not None:
+            import warnings
+
+            warnings.warn(
+                "the Xs keyword of MultiSourceTransferGP.fit is "
+                "deprecated; pass sources=[(X, y), ...]",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if sources is not None:
+                raise ValueError("pass either sources or Xs, not both")
+            sources = Xs
+        if sources is None:
+            sources = []
+        if X_target is None or y_target is None:
+            raise ValueError("X_target and y_target are required")
         Xt = np.atleast_2d(np.asarray(X_target, dtype=float))
         yt = np.asarray(y_target, dtype=float).ravel()
         if len(Xt) != len(yt) or len(yt) == 0:

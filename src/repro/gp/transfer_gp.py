@@ -34,6 +34,55 @@ SOURCE_TASK = 0
 TARGET_TASK = 1
 
 
+def _resolve_source_kwargs(
+    X_source, y_source, sources, Xs, ys
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize the three ways of passing source data to one pair.
+
+    Canonical forms are ``X_source``/``y_source`` arrays or the
+    ``sources`` list of ``(X_k, y_k)`` pairs (shared with the
+    multi-source model; pairs are stacked into a single source task).
+    ``Xs``/``ys`` are deprecated aliases for ``X_source``/``y_source``.
+
+    Raises:
+        ValueError: When more than one form is used at once, or a pair
+            is half-specified.
+    """
+    if Xs is not None or ys is not None:
+        import warnings
+
+        warnings.warn(
+            "the Xs/ys keywords of TransferGP.fit are deprecated; "
+            "pass X_source/y_source or sources=[(X, y), ...]",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if X_source is not None or y_source is not None:
+            raise ValueError("pass either X_source/y_source or Xs/ys")
+        X_source, y_source = Xs, ys
+    if sources is not None:
+        if X_source is not None or y_source is not None:
+            raise ValueError(
+                "pass either X_source/y_source or sources, not both"
+            )
+        pairs = [
+            (np.atleast_2d(np.asarray(X, dtype=float)),
+             np.asarray(y, dtype=float).ravel())
+            for X, y in sources
+        ]
+        pairs = [(X, y) for X, y in pairs if X.size]
+        if pairs:
+            X_source = np.vstack([X for X, _ in pairs])
+            y_source = np.concatenate([y for _, y in pairs])
+        else:
+            X_source, y_source = np.empty((0, 0)), np.empty(0)
+    if (X_source is None) != (y_source is None):
+        raise ValueError("X_source and y_source must be passed together")
+    if X_source is None:
+        X_source, y_source = np.empty((0, 0)), np.empty(0)
+    return X_source, y_source
+
+
 class TransferGP(IncrementalGPMixin):
     """Two-task transfer GP regressor.
 
@@ -110,25 +159,45 @@ class TransferGP(IncrementalGPMixin):
 
     def fit(
         self,
-        X_source: np.ndarray,
-        y_source: np.ndarray,
-        X_target: np.ndarray,
-        y_target: np.ndarray,
+        X_source: np.ndarray | None = None,
+        y_source: np.ndarray | None = None,
+        X_target: np.ndarray | None = None,
+        y_target: np.ndarray | None = None,
+        *,
+        sources: list[tuple[np.ndarray, np.ndarray]] | None = None,
+        Xs: np.ndarray | None = None,
+        ys: np.ndarray | None = None,
     ) -> "TransferGP":
         """Fit the joint model on stacked source + target data.
+
+        Source data may be supplied either as explicit
+        ``X_source``/``y_source`` arrays or — the keyword shared with
+        :class:`~repro.gp.multisource.MultiSourceTransferGP` — as
+        ``sources``, a list of ``(X_k, y_k)`` pairs (stacked into one
+        source task here; empty list means no transfer).
 
         Args:
             X_source: ``(N, d)`` source inputs (may be empty).
             y_source: Length-``N`` source targets.
             X_target: ``(M, d)`` target inputs (``M >= 1``).
             y_target: Length-``M`` target targets.
+            sources: ``(X_k, y_k)`` source archives; mutually exclusive
+                with ``X_source``/``y_source``.
+            Xs: Deprecated alias for ``X_source``.
+            ys: Deprecated alias for ``y_source``.
 
         Returns:
             ``self``.
 
         Raises:
-            ValueError: On shape mismatch or empty target data.
+            ValueError: On shape mismatch, empty target data, or
+                conflicting source arguments.
         """
+        X_source, y_source = _resolve_source_kwargs(
+            X_source, y_source, sources, Xs, ys
+        )
+        if X_target is None or y_target is None:
+            raise ValueError("X_target and y_target are required")
         Xs = np.atleast_2d(np.asarray(X_source, dtype=float))
         Xt = np.atleast_2d(np.asarray(X_target, dtype=float))
         ys = np.asarray(y_source, dtype=float).ravel()

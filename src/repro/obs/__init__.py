@@ -1,0 +1,87 @@
+"""Structured observability for the tuning loop.
+
+The subsystem has four small parts:
+
+- :mod:`~repro.obs.events` — the typed event taxonomy of Algorithm 1.
+- :mod:`~repro.obs.recorder` — :class:`TraceRecorder` (fans events out
+  to sinks + metrics) and the allocation-free :class:`NullRecorder`.
+- :mod:`~repro.obs.sinks` — in-memory ring buffer and atomic-append
+  JSONL sinks, plus the per-``spec_hash`` trace-path convention.
+- :mod:`~repro.obs.replay` / :mod:`~repro.obs.report` — reconstruct a
+  recorded run (identical ``IterationRecord`` history, final Pareto
+  set, post-hoc convergence curves) and render summaries/diffs.
+
+Quickstart::
+
+    from repro import PPATuner, PPATunerConfig, TraceRecorder
+    from repro.obs import JsonlSink, replay_trace
+
+    rec = TraceRecorder(sinks=[JsonlSink("run.jsonl")])
+    PPATuner(PPATunerConfig(), recorder=rec).tune(X, oracle)
+    rec.close()
+    replay = replay_trace("run.jsonl")   # == the live run's history
+"""
+
+from .events import (
+    EVENT_TYPES,
+    CalibrationDone,
+    DecisionSummary,
+    IterationEnd,
+    IterationStart,
+    RunEnd,
+    RunStart,
+    SelectionMade,
+    ToolEvaluation,
+    TraceEvent,
+    event_from_json,
+)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from .replay import (
+    TraceReplay,
+    convergence_from_trace,
+    records_equal,
+    replay_trace,
+)
+from .report import diff_traces, format_events, summarize_trace
+from .sinks import (
+    JsonlSink,
+    MemorySink,
+    Sink,
+    default_trace_dir,
+    read_trace,
+    trace_path_for,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "NULL_RECORDER",
+    "CalibrationDone",
+    "Counter",
+    "DecisionSummary",
+    "Histogram",
+    "IterationEnd",
+    "IterationStart",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullRecorder",
+    "RunEnd",
+    "RunStart",
+    "SelectionMade",
+    "Sink",
+    "ToolEvaluation",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceReplay",
+    "convergence_from_trace",
+    "default_trace_dir",
+    "diff_traces",
+    "event_from_json",
+    "format_events",
+    "read_trace",
+    "records_equal",
+    "replay_trace",
+    "summarize_trace",
+    "trace_path_for",
+]

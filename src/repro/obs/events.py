@@ -1,0 +1,251 @@
+"""Typed trace events emitted by the tuning loop.
+
+Every event is a frozen dataclass with JSON-serializable fields (ints,
+floats, strings, bools, and flat lists thereof).  The event taxonomy
+mirrors Algorithm 1:
+
+- :class:`RunStart` / :class:`RunEnd` bracket one ``PPATuner.tune``
+  call; ``RunEnd`` carries everything replay needs that is not
+  per-iteration (final Pareto indices, the loop-evaluation set, the
+  stop reason).
+- :class:`IterationStart` → :class:`CalibrationDone` →
+  :class:`DecisionSummary` → :class:`SelectionMade` →
+  :class:`IterationEnd` trace one loop iteration; ``IterationEnd``
+  carries exactly the fields of
+  :class:`~repro.core.result.IterationRecord`, so a recorded run can be
+  replayed into an identical history without re-running the tool.
+- :class:`ToolEvaluation` is emitted by the oracles themselves (one per
+  ``evaluate`` call, cached hits included) with the observed QoR vector
+  and the oracle latency.
+
+Serialization uses Python's :mod:`json` defaults, which round-trip
+``NaN``/``Infinity`` literals — diameters of unbounded regions and the
+pre-prediction ``max_diameter`` rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+
+__all__ = [
+    "EVENT_TYPES",
+    "CalibrationDone",
+    "DecisionSummary",
+    "IterationEnd",
+    "IterationStart",
+    "RunEnd",
+    "RunStart",
+    "SelectionMade",
+    "ToolEvaluation",
+    "TraceEvent",
+    "event_from_json",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class; concrete events set the ``type`` class attribute."""
+
+    type = "event"
+
+    def to_json(self) -> dict:
+        """Flat JSON-serializable dict, ``type`` tag included."""
+        out: dict = {"type": self.type}
+        out.update(asdict(self))
+        return out
+
+
+@dataclass(frozen=True)
+class RunStart(TraceEvent):
+    """One ``tune`` call begins.
+
+    Attributes:
+        n_candidates: Target-pool size.
+        n_objectives: QoR metric count.
+        seed: Config seed.
+        n_init: Initial target evaluations (Algorithm 1 line 1).
+        n_sources: Source archives made available for transfer.
+        delta: Absolute δ vector derived from the initialization data.
+    """
+
+    type = "run_start"
+
+    n_candidates: int
+    n_objectives: int
+    seed: int
+    n_init: int
+    n_sources: int
+    delta: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class IterationStart(TraceEvent):
+    """Loop iteration begins (counts *before* this iteration acts)."""
+
+    type = "iteration_start"
+
+    iteration: int
+    n_undecided: int
+    n_pareto: int
+    n_dropped: int
+
+
+@dataclass(frozen=True)
+class CalibrationDone(TraceEvent):
+    """All surrogates are calibrated for this iteration.
+
+    Attributes:
+        iteration: Loop iteration.
+        path: ``"full"`` (exact refits), ``"incremental"`` (rank-1
+            border updates) or ``"noop"`` (no new evidence).
+        n_models: Surrogates calibrated (one per QoR metric).
+        n_new: Evaluations absorbed since the previous calibration.
+        n_fallbacks: Incremental updates that fell back to an exact
+            refactorization this call.
+        reopt: Whether hyperparameters were re-optimized.
+        seconds: Wall-clock time of the calibration call.
+    """
+
+    type = "calibration_done"
+
+    iteration: int
+    path: str
+    n_models: int
+    n_new: int
+    n_fallbacks: int
+    reopt: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class DecisionSummary(TraceEvent):
+    """One decision-making pass (Eq. (11)-(12)) finished.
+
+    Counts are post-pass totals over the pool; ``newly_*`` are this
+    pass's contributions.
+    """
+
+    type = "decision_summary"
+
+    iteration: int
+    n_live: int
+    n_undecided: int
+    n_pareto: int
+    n_dropped: int
+    newly_dropped: int
+    newly_pareto: int
+
+
+@dataclass(frozen=True)
+class SelectionMade(TraceEvent):
+    """Selection rule (Eq. (13)) picked the next tool batch.
+
+    Attributes:
+        iteration: Loop iteration.
+        selected: Chosen candidate indices, longest diameter first.
+        diameters: Uncertainty-rectangle diameters of the chosen
+            candidates at selection time (``Infinity`` for a candidate
+            that has never been predicted).
+    """
+
+    type = "selection_made"
+
+    iteration: int
+    selected: list[int] = field(default_factory=list)
+    diameters: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ToolEvaluation(TraceEvent):
+    """One oracle ``evaluate`` call.
+
+    Attributes:
+        index: Pool candidate index.
+        values: Observed QoR vector.
+        seconds: Oracle latency for this call.
+        cached: Whether the value was served from the oracle's cache
+            (not a fresh tool run).
+        oracle: Oracle kind (``"pool"`` or ``"flow"``).
+    """
+
+    type = "tool_evaluation"
+
+    index: int
+    seconds: float
+    cached: bool
+    oracle: str
+    values: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class IterationEnd(TraceEvent):
+    """Iteration bookkeeping — field-for-field an
+    :class:`~repro.core.result.IterationRecord`."""
+
+    type = "iteration_end"
+
+    iteration: int
+    n_undecided: int
+    n_pareto: int
+    n_dropped: int
+    n_evaluations: int
+    max_diameter: float
+    selected: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class RunEnd(TraceEvent):
+    """One ``tune`` call finished.
+
+    Attributes:
+        stop_reason: Why the loop ended.
+        n_iterations: Loop iterations executed.
+        n_evaluations: Loop tool runs (the paper's "Runs"; the final
+            verification pass is excluded, as in ``TuningResult``).
+        pareto_indices: Final reported Pareto set.
+        evaluated_indices: Every pool index sampled during the loop
+            (ascending — matches ``TuningResult.evaluated_indices``).
+        seconds: Wall-clock time of the whole ``tune`` call.
+    """
+
+    type = "run_end"
+
+    stop_reason: str
+    n_iterations: int
+    n_evaluations: int
+    seconds: float
+    pareto_indices: list[int] = field(default_factory=list)
+    evaluated_indices: list[int] = field(default_factory=list)
+
+
+#: Registry of concrete event types by their ``type`` tag.
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.type: cls
+    for cls in (
+        RunStart,
+        IterationStart,
+        CalibrationDone,
+        DecisionSummary,
+        SelectionMade,
+        ToolEvaluation,
+        IterationEnd,
+        RunEnd,
+    )
+}
+
+
+def event_from_json(payload: dict) -> TraceEvent:
+    """Reconstruct an event from its :meth:`TraceEvent.to_json` dict.
+
+    Unknown keys are ignored (forward compatibility: a newer writer may
+    add fields); unknown types raise.
+
+    Raises:
+        ValueError: If the ``type`` tag is missing or unregistered.
+    """
+    tag = payload.get("type")
+    cls = EVENT_TYPES.get(tag)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown trace event type {tag!r}")
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in payload.items() if k in names})

@@ -1,0 +1,144 @@
+"""Lightweight in-process counters and histograms.
+
+A :class:`MetricsRegistry` is the cheap aggregate companion to the
+event stream: the recorder bumps counters and histograms as events pass
+through, so a run's health (tool latency distribution, calibration
+fallbacks, events per type) is readable without scanning the trace.
+
+Histograms keep running moments plus fixed log2 buckets — enough for a
+latency profile at a few hundred bytes, no per-sample storage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative)."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+#: Histogram bucket boundaries: powers of two from 1 µs to ~64 s.
+_BUCKET_LO_EXP = -20  # 2**-20 s ≈ 0.95 µs
+_BUCKET_HI_EXP = 6    # 2**6 s = 64 s
+
+
+@dataclass
+class Histogram:
+    """Running moments + fixed log2 buckets of observed values.
+
+    Attributes:
+        count: Observations so far.
+        total: Sum of observations.
+        min: Smallest observation (``inf`` when empty).
+        max: Largest observation (``-inf`` when empty).
+        buckets: Cumulative-style bucket counts keyed by upper-bound
+            exponent (``value <= 2**exp``); out-of-range values land in
+            the edge buckets.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0:
+            exp = _BUCKET_LO_EXP
+        else:
+            exp = min(
+                _BUCKET_HI_EXP,
+                max(_BUCKET_LO_EXP, math.ceil(math.log2(value))),
+            )
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+
+class MetricsRegistry:
+    """Named counters and histograms with lazy creation.
+
+    Example:
+        >>> metrics = MetricsRegistry()
+        >>> metrics.counter("events.run_start").inc()
+        >>> metrics.histogram("oracle_seconds").observe(0.004)
+        >>> metrics.snapshot()["counters"]["events.run_start"]
+        1
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter()
+            return c
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram()
+            return h
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": {...}, "histograms": {...}}``."""
+        return {
+            "counters": {
+                k: c.value for k, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean if h.count else None,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def format(self) -> str:
+        """Human-readable two-column dump of every metric."""
+        lines = []
+        for name, c in sorted(self._counters.items()):
+            lines.append(f"{name:<36} {c.value}")
+        for name, h in sorted(self._histograms.items()):
+            if h.count:
+                lines.append(
+                    f"{name:<36} n={h.count} mean={h.mean:.6f}s "
+                    f"min={h.min:.6f}s max={h.max:.6f}s"
+                )
+            else:
+                lines.append(f"{name:<36} n=0")
+        return "\n".join(lines)

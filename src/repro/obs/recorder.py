@@ -1,0 +1,134 @@
+"""Trace recorders: the single emission point of the tuning loop.
+
+Instrumented code holds a recorder and calls ``emit`` with typed events.
+Two implementations:
+
+- :class:`TraceRecorder` fans each event out to its sinks and keeps the
+  companion :class:`~repro.obs.metrics.MetricsRegistry` up to date.
+- :class:`NullRecorder` is the disabled path: falsy, emits to nowhere.
+  Instrumentation sites are written ``if recorder: recorder.emit(...)``
+  so the disabled path never constructs an event object — tracing off
+  costs one truthiness check per site.
+
+``NULL_RECORDER`` is the shared singleton; anything accepting an
+optional recorder defaults to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .events import CalibrationDone, ToolEvaluation, TraceEvent
+from .metrics import MetricsRegistry
+from .sinks import MemorySink, Sink
+
+__all__ = ["NULL_RECORDER", "NullRecorder", "TraceRecorder"]
+
+
+class NullRecorder:
+    """The disabled recorder: falsy, drops everything.
+
+    All instances behave identically; use the module-level
+    ``NULL_RECORDER`` singleton.
+    """
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def emit(self, event: TraceEvent) -> None:
+        """Drop the event."""
+
+    def flush(self) -> None:
+        """No-op."""
+
+    def close(self) -> None:
+        """No-op."""
+
+
+#: Shared disabled recorder.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Deliver typed events to pluggable sinks, with live metrics.
+
+    Example:
+        >>> rec = TraceRecorder()                    # in-memory only
+        >>> tuner = PPATuner(config, recorder=rec)   # doctest: +SKIP
+        >>> rec.events[-1].type                      # doctest: +SKIP
+        'run_end'
+
+    Args:
+        sinks: Event sinks; defaults to a single :class:`MemorySink`.
+        metrics: Companion registry; created when omitted.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Iterable[Sink] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.sinks: list[Sink] = (
+            list(sinks) if sinks is not None else [MemorySink()]
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Total events emitted through this recorder.
+        self.n_emitted = 0
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Events retained by the first attached :class:`MemorySink`.
+
+        Raises:
+            RuntimeError: If no memory sink is attached.
+        """
+        for sink in self.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.events
+        raise RuntimeError("no MemorySink attached to this recorder")
+
+    def emit(self, event: TraceEvent) -> None:
+        """Deliver one event to every sink and update metrics."""
+        self.n_emitted += 1
+        self.metrics.counter(f"events.{event.type}").inc()
+        if isinstance(event, ToolEvaluation):
+            self.metrics.histogram("oracle_seconds").observe(event.seconds)
+            if event.cached:
+                self.metrics.counter("oracle.cached_hits").inc()
+            else:
+                self.metrics.counter("oracle.tool_runs").inc()
+        elif isinstance(event, CalibrationDone):
+            self.metrics.histogram("calibration_seconds").observe(
+                event.seconds
+            )
+            if event.n_fallbacks:
+                self.metrics.counter("calibration.fallbacks").inc(
+                    event.n_fallbacks
+                )
+            if event.reopt:
+                self.metrics.counter("calibration.reopts").inc()
+        for sink in self.sinks:
+            sink.write(event)
+
+    def flush(self) -> None:
+        """Flush every sink."""
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Close every sink."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

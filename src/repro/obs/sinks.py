@@ -1,0 +1,167 @@
+"""Event sinks: where the recorder delivers trace events.
+
+Two concrete sinks cover the in-process and on-disk cases:
+
+- :class:`MemorySink` — a bounded ring buffer (``collections.deque``),
+  for tests, live inspection and the replay utilities.
+- :class:`JsonlSink` — one JSON object per line, written with a single
+  ``write`` call per event to an ``O_APPEND`` stream and flushed
+  immediately, so concurrent writers never interleave within a line and
+  a killed run leaves at most one torn *trailing* line (which the
+  reader skips).  The runner convention is one file per
+  ``RunSpec.spec_hash`` under the trace directory (see
+  :func:`trace_path_for`).
+
+Anything with ``write(event)`` / ``flush()`` / ``close()`` is a valid
+sink (see :class:`Sink`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, Protocol, runtime_checkable
+
+from .events import TraceEvent, event_from_json
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "Sink",
+    "default_trace_dir",
+    "read_trace",
+    "trace_path_for",
+]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Contract every event sink satisfies."""
+
+    def write(self, event: TraceEvent) -> None:
+        """Deliver one event."""
+        ...
+
+    def flush(self) -> None:
+        """Push buffered events to durable storage (no-op if unbuffered)."""
+        ...
+
+    def close(self) -> None:
+        """Release resources; the sink accepts no further events."""
+        ...
+
+
+class MemorySink:
+    """Bounded in-memory ring buffer of the most recent events.
+
+    Attributes:
+        capacity: Maximum retained events (older ones are evicted).
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Total events ever written (evictions included).
+        self.n_written = 0
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        return list(self._events)
+
+    def write(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.n_written += 1
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append-only JSON-lines file sink.
+
+    The file is opened lazily (a recorder wired up but never emitted to
+    creates nothing) in append mode, each event is serialized to one
+    line and written with a single ``write`` + ``flush``.
+
+    Args:
+        path: Target file; parent directories are created.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def write(self, event: TraceEvent) -> None:
+        fh = self._handle()
+        fh.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+        fh.flush()
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def default_trace_dir() -> Path:
+    """Trace directory: ``PPATUNER_TRACE_DIR`` or ``<repo>/.cache/traces``."""
+    override = os.environ.get("PPATUNER_TRACE_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / ".cache" / "traces"
+
+
+def trace_path_for(
+    spec_hash: str, trace_dir: str | Path | None = None
+) -> Path:
+    """Canonical trace-file path for one run (one file per spec hash)."""
+    root = Path(trace_dir) if trace_dir is not None else default_trace_dir()
+    return root / f"trace-{spec_hash}.jsonl"
+
+
+def read_trace(source: str | Path | Iterable[str]) -> list[TraceEvent]:
+    """Load events from a JSONL trace file (or iterable of lines).
+
+    A torn trailing line (killed writer) is skipped; a corrupt line
+    anywhere else raises, since it means the file was damaged rather
+    than interrupted.
+
+    Raises:
+        ValueError: On a malformed non-trailing line or an unknown
+            event type.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    events: list[TraceEvent] = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn trailing line from a killed writer
+            raise ValueError(f"corrupt trace line {i + 1}") from None
+        events.append(event_from_json(payload))
+    return events

@@ -12,6 +12,11 @@ methods of one objective space derive the same initial design from
 ``(seed, "init", space)``, and all cells of one scenario derive the same
 source subset from ``(seed, "source", n_source)`` — exactly the paper's
 "same starting information" protocol, without order coupling.
+
+When ``PPATUNER_TRACE_DIR`` is set (the runner's ``trace_dir`` argument
+exports it, and worker processes inherit it), every cell records its
+tuning loop to ``trace-<spec_hash>.jsonl`` under that directory; the
+trace path and event count surface in the cell's telemetry.
 """
 
 from __future__ import annotations
@@ -22,9 +27,31 @@ import time
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER, TraceRecorder
+from ..obs.sinks import JsonlSink, trace_path_for
 from .spec import RunSpec, derive_rng, derive_seed
 
 __all__ = ["execute_spec"]
+
+
+def _cell_recorder(spec: RunSpec):
+    """Per-cell trace recorder (``PPATUNER_TRACE_DIR`` convention).
+
+    Returns ``(recorder, trace_path)``; the null recorder and an empty
+    path when tracing is disabled.
+    """
+    trace_dir = os.environ.get("PPATUNER_TRACE_DIR")
+    if not trace_dir:
+        return NULL_RECORDER, ""
+    path = trace_path_for(spec.spec_hash(), trace_dir)
+    return TraceRecorder(sinks=[JsonlSink(path)]), str(path)
+
+
+def _attach_recorder(tuner, recorder) -> None:
+    """Route a tuner's events into the cell trace, when it can emit
+    them (baselines without a recorder attribute stay untraced)."""
+    if recorder and hasattr(tuner, "recorder"):
+        tuner.recorder = recorder
 
 
 def _calibration_counters(tuner) -> dict[str, int]:
@@ -68,7 +95,8 @@ def _method_config(spec: RunSpec, ppa_config):
     )
 
 
-def _run_scenario_cell(spec: RunSpec, source, target, ppa_config):
+def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
+                       recorder=NULL_RECORDER):
     """One (method, objective-space) cell of a paper table."""
     from ..core import PoolOracle
     from ..experiments.scenarios import (
@@ -94,6 +122,7 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config):
         spec.method, budget, target.n, method_seed,
         ppa_config=_method_config(spec, ppa_config),
     )
+    _attach_recorder(tuner, recorder)
     oracle = PoolOracle(target.objectives(names))
     result = tuner.tune(
         target.X, oracle,
@@ -107,7 +136,8 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config):
     return outcome, {}, _calibration_counters(tuner)
 
 
-def _run_tune_cell(spec: RunSpec, source, target, ppa_config):
+def _run_tune_cell(spec: RunSpec, source, target, ppa_config,
+                   recorder=NULL_RECORDER):
     """A single configured PPATuner run (ablation sweeps, `_util`)."""
     from ..core import PoolOracle, PPATuner, PPATunerConfig
     from ..experiments.scenarios import evaluate_outcome
@@ -122,6 +152,7 @@ def _run_tune_cell(spec: RunSpec, source, target, ppa_config):
         }
     config = ppa_config or PPATunerConfig(seed=spec.seed)
     tuner = PPATuner(config)
+    _attach_recorder(tuner, recorder)
     oracle = PoolOracle(target.objectives(names))
     result = tuner.tune(target.X, oracle, **kwargs)
     outcome = evaluate_outcome(
@@ -131,7 +162,8 @@ def _run_tune_cell(spec: RunSpec, source, target, ppa_config):
     return outcome, {}, _calibration_counters(tuner)
 
 
-def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config):
+def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config,
+                             recorder=NULL_RECORDER):
     """One mixed-archive variant (Scenario Three).
 
     Every variant derives the *same* archives from the spec seed, so the
@@ -172,6 +204,7 @@ def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config):
         max_iterations=max_iterations, seed=spec.seed,
     )
     tuner = PPATuner(config)
+    _attach_recorder(tuner, recorder)
     oracle = PoolOracle(target.objectives(names))
     result = tuner.tune(target.X, oracle, **kwargs)
 
@@ -194,7 +227,8 @@ def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config):
     return outcome, {"lambdas": lambdas}, _calibration_counters(tuner)
 
 
-def _run_convergence_cell(spec: RunSpec, source, target, ppa_config):
+def _run_convergence_cell(spec: RunSpec, source, target, ppa_config,
+                          recorder=NULL_RECORDER):
     """One method's anytime convergence trace."""
     import json
 
@@ -221,6 +255,7 @@ def _run_convergence_cell(spec: RunSpec, source, target, ppa_config):
         spec.method, budget, target.n, method_seed,
         ppa_config=_method_config(spec, ppa_config),
     )
+    _attach_recorder(tuner, recorder)
     oracle = PoolOracle(target.objectives(names))
     result = tuner.tune(
         target.X, oracle,
@@ -266,10 +301,14 @@ def execute_spec(spec: RunSpec, source, target, ppa_config=None):
         executor = _EXECUTORS[spec.kind]
     except KeyError:
         raise ValueError(f"unknown spec kind {spec.kind!r}") from None
+    recorder, trace_path = _cell_recorder(spec)
     start = time.perf_counter()
-    outcome, extras, calibration = executor(
-        spec, source, target, ppa_config
-    )
+    try:
+        outcome, extras, calibration = executor(
+            spec, source, target, ppa_config, recorder
+        )
+    finally:
+        recorder.close()
     wall = time.perf_counter() - start
     telemetry = RunTelemetry(
         wall_time=wall,
@@ -277,6 +316,8 @@ def execute_spec(spec: RunSpec, source, target, ppa_config=None):
         worker_pid=os.getpid(),
         calibration=calibration,
         memoized=False,
+        trace_path=trace_path,
+        n_events=getattr(recorder, "n_emitted", 0),
     )
     return RunRecord(
         spec=spec, outcome=outcome, telemetry=telemetry, extras=extras

@@ -163,6 +163,8 @@ class RunMemo:
                 "runs": record.telemetry.runs,
                 "worker_pid": record.telemetry.worker_pid,
                 "calibration": dict(record.telemetry.calibration),
+                "trace_path": record.telemetry.trace_path,
+                "n_events": record.telemetry.n_events,
             },
             "extras": record.extras,
         }
@@ -270,6 +272,8 @@ class RunMemo:
             worker_pid=int(telem.get("worker_pid", 0)),
             calibration=dict(telem.get("calibration", {})),
             memoized=True,
+            trace_path=str(telem.get("trace_path", "")),
+            n_events=int(telem.get("n_events", 0)),
         )
         return RunRecord(
             spec=spec,

@@ -13,7 +13,11 @@ guarantees:
   finished cells on restart, and ``force=True`` invalidates first.
 - **Observability** — per-run telemetry (wall time, tool runs,
   aggregated calibration counters, worker pid, memo hits) is collected
-  and renderable as a progress table.
+  and renderable as a progress table.  With ``trace_dir`` set, every
+  cell additionally records its full :mod:`repro.obs` event stream to
+  ``trace-<spec_hash>.jsonl`` in that directory — worker processes
+  write their own cell's file, so parallel traces never interleave, and
+  each file replays independently (``repro trace summary``).
 
 Worker count follows the ``PPATUNER_WORKERS`` convention shared with
 the benchmark cache builder.  Dataset arguments may be
@@ -72,6 +76,9 @@ class RunTelemetry:
             (``n_full_fits``/``n_incremental``/...), when the method
             exposes a calibration engine.
         memoized: Whether the record was served from the memo store.
+        trace_path: JSONL trace file the cell wrote (empty when tracing
+            was disabled).
+        n_events: Trace events the cell emitted.
     """
 
     wall_time: float = 0.0
@@ -79,6 +86,8 @@ class RunTelemetry:
     worker_pid: int = 0
     calibration: dict[str, int] = field(default_factory=dict)
     memoized: bool = False
+    trace_path: str = ""
+    n_events: int = 0
 
 
 @dataclass
@@ -134,6 +143,10 @@ class ExperimentRunner:
             (re-executes everything exactly once).
         progress: Optional callable fed one human-readable line per
             completed cell (e.g. ``print``).
+        trace_dir: Record every cell's event stream to
+            ``trace-<spec_hash>.jsonl`` under this directory (exported
+            as ``PPATUNER_TRACE_DIR`` for the duration of each
+            :meth:`run`, so pool workers inherit it).
     """
 
     def __init__(
@@ -143,12 +156,14 @@ class ExperimentRunner:
         resume: bool = True,
         force: bool = False,
         progress: Callable[[str], None] | None = None,
+        trace_dir: str | os.PathLike | None = None,
     ) -> None:
         self.workers = runner_workers(workers)
         self.memo = memo
         self.resume = resume
         self.force = force
         self.progress = progress
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
         #: Every record this runner has produced, in completion order
         #: across calls (feeds suite-level telemetry tables).
         self.history: list[RunRecord] = []
@@ -161,6 +176,21 @@ class ExperimentRunner:
         Duplicate specs in one submission are executed once and the
         record shared.
         """
+        if self.trace_dir is None:
+            return self._run(jobs)
+        # Export the trace directory for the duration of the batch so
+        # inline cells and forked pool workers alike pick it up.
+        prev = os.environ.get("PPATUNER_TRACE_DIR")
+        os.environ["PPATUNER_TRACE_DIR"] = self.trace_dir
+        try:
+            return self._run(jobs)
+        finally:
+            if prev is None:
+                os.environ.pop("PPATUNER_TRACE_DIR", None)
+            else:
+                os.environ["PPATUNER_TRACE_DIR"] = prev
+
+    def _run(self, jobs: Sequence[RunJob]) -> list[RunRecord]:
         jobs = list(jobs)
         if self.memo is not None and self.force:
             self.memo.invalidate(job.spec for job in jobs)
@@ -295,19 +325,22 @@ class ExperimentRunner:
 
 
 def format_telemetry_table(records: Sequence[RunRecord]) -> str:
-    """Per-run telemetry table (wall time, tool runs, calibration)."""
+    """Per-run telemetry table (wall time, tool runs, calibration,
+    trace events)."""
     header = (
         f"{'cell':<44} {'runs':>5} {'wall':>8} {'src':>5} "
-        f"{'fits':>5} {'incr':>5} {'reopt':>5}"
+        f"{'fits':>5} {'incr':>5} {'reopt':>5} {'events':>6}"
     )
     lines = [header]
     total_wall = 0.0
     total_runs = 0
+    total_events = 0
     memo_hits = 0
     for record in records:
         t = record.telemetry
         total_wall += t.wall_time
         total_runs += t.runs
+        total_events += t.n_events
         memo_hits += int(t.memoized)
         calib = t.calibration
         src = "memo" if t.memoized else str(t.worker_pid)
@@ -316,10 +349,12 @@ def format_telemetry_table(records: Sequence[RunRecord]) -> str:
             f"{t.wall_time:>7.1f}s {src:>5} "
             f"{calib.get('n_full_fits', 0):>5} "
             f"{calib.get('n_incremental', 0):>5} "
-            f"{calib.get('n_reopts', 0):>5}"
+            f"{calib.get('n_reopts', 0):>5} "
+            f"{t.n_events if t.n_events else '-':>6}"
         )
     lines.append(
         f"{'total':<44} {total_runs:>5} {total_wall:>7.1f}s "
-        f"({memo_hits} memoized, pid {os.getpid()} is the parent)"
+        f"({memo_hits} memoized, {total_events} trace events, "
+        f"pid {os.getpid()} is the parent)"
     )
     return "\n".join(lines)

@@ -64,6 +64,39 @@ class TestParser:
         args = build_parser().parse_args(["sensitivity", "source2"])
         assert args.benchmark == "source2"
 
+    def test_tune_trace_flag(self):
+        args = build_parser().parse_args(
+            ["tune", "target2", "--trace", "run.jsonl"]
+        )
+        assert args.trace == "run.jsonl"
+
+    def test_scenario_trace_dir_flag(self):
+        args = build_parser().parse_args(
+            ["scenario", "two", "--trace-dir", "traces"]
+        )
+        assert args.trace_dir == "traces"
+
+    def test_trace_args(self):
+        args = build_parser().parse_args([
+            "trace", "show", "run.jsonl",
+            "--type", "selection_made", "--limit", "3",
+        ])
+        assert args.action == "show"
+        assert args.trace == "run.jsonl"
+        assert args.type == "selection_made"
+        assert args.limit == 3
+
+    def test_trace_diff_args(self):
+        args = build_parser().parse_args(
+            ["trace", "diff", "a.jsonl", "b.jsonl"]
+        )
+        assert args.action == "diff"
+        assert args.other == "b.jsonl"
+
+    def test_trace_rejects_bad_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "bogus", "run.jsonl"])
+
 
 class TestCommands:
     def test_export_writes_verilog(self, tmp_path, capsys):
@@ -127,6 +160,41 @@ class TestScenarioCommand:
     def test_no_resume_skips_memo(self, tmp_path, capsys):
         assert main(self.ARGS + ["--no-resume"]) == 0
         assert not list((tmp_path / "runs").glob("*.npz"))
+
+
+class TestTraceCommand:
+    def test_tune_trace_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        rc = main([
+            "tune", "target2", "--scale", "80",
+            "--max-iterations", "6", "--seed", "1",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert trace.exists()
+        assert "trace:" in capsys.readouterr().out
+
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "finished:" in out
+        assert "calibration:" in out
+
+        assert main([
+            "trace", "show", str(trace),
+            "--type", "selection_made", "--limit", "2",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("selection_made") for line in lines)
+
+        assert main(["trace", "diff", str(trace), str(trace)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_trace_diff_requires_other(self, tmp_path):
+        trace = tmp_path / "a.jsonl"
+        trace.write_text("")
+        with pytest.raises(SystemExit):
+            main(["trace", "diff", str(trace)])
 
 
 class TestCacheCommand:
