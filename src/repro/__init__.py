@@ -3,8 +3,9 @@
 Pareto-driven physical-design tool parameter auto-tuning via Gaussian
 process transfer learning, plus every substrate the paper depends on:
 a simulated PD flow, offline benchmarks, GP/transfer-GP models, Pareto
-metrics, the four baseline tuners, the parallel experiment runner, and
-the structured observability layer.
+metrics, the four baseline tuners, the parallel experiment runner, the
+structured observability layer, and the fault-tolerant evaluation
+layer (retries, circuit breaking, deterministic fault injection).
 
 Quickstart::
 
@@ -39,6 +40,9 @@ __all__ = [
     "Aspdac20Fist",
     "Dac19Recommender",
     "ExperimentRunner",
+    "FaultInjectingOracle",
+    "FaultPlan",
+    "FaultPolicy",
     "FlowOracle",
     "GPRegressor",
     "MetricsRegistry",
@@ -51,6 +55,7 @@ __all__ = [
     "PoolOracle",
     "QoRReport",
     "RandomSearchTuner",
+    "ResilientOracle",
     "RunSpec",
     "Tcad19ActiveLearner",
     "ToolParameters",
@@ -95,6 +100,10 @@ _EXPORTS = {
     "ToolParameters": "pdtool",
     "ExperimentRunner": "runner",
     "RunSpec": "runner",
+    "FaultInjectingOracle": "reliability",
+    "FaultPlan": "reliability",
+    "FaultPolicy": "reliability",
+    "ResilientOracle": "reliability",
 }
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
@@ -122,6 +131,12 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from .pareto import adrs, hypervolume, hypervolume_error, pareto_front
     from .pdtool import PDFlow, QoRReport, ToolParameters
+    from .reliability import (
+        FaultInjectingOracle,
+        FaultPlan,
+        FaultPolicy,
+        ResilientOracle,
+    )
     from .runner import ExperimentRunner, RunSpec
 
 

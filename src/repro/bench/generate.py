@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import functools
 import logging
-import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -78,7 +77,9 @@ DESIGN_BASE_PARAMS: dict[str, dict[str, object]] = {
 
 def full_scale() -> bool:
     """Whether paper-scale designs were requested via ``PPATUNER_FULL``."""
-    return os.environ.get("PPATUNER_FULL", "").strip() in {"1", "true"}
+    from .. import env
+
+    return env.full_scale()
 
 
 def cache_workers() -> int:
@@ -86,11 +87,11 @@ def cache_workers() -> int:
 
     ``PPATUNER_WORKERS`` overrides; defaults to the CPU count (capped at
     8 — the flow runs are short, so more workers only add fork cost).
+    See :func:`repro.env.workers`.
     """
-    raw = os.environ.get("PPATUNER_WORKERS", "").strip()
-    if raw:
-        return max(1, int(raw))
-    return min(os.cpu_count() or 1, 8)
+    from .. import env
+
+    return env.workers()
 
 
 def design_spec(design: str) -> MacSpec:

@@ -107,12 +107,11 @@ def default_cache_dir() -> Path:
     """Directory for cached benchmark tables.
 
     Honours the ``PPATUNER_CACHE`` environment variable; defaults to
-    ``<repo>/.cache/benchmarks``.
+    ``<repo>/.cache/benchmarks`` (see :func:`repro.env.bench_cache_dir`).
     """
-    override = os.environ.get("PPATUNER_CACHE")
-    if override:
-        return Path(override)
-    return Path(__file__).resolve().parents[3] / ".cache" / "benchmarks"
+    from .. import env
+
+    return env.bench_cache_dir()
 
 
 class CacheCorruptionError(Exception):

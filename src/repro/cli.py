@@ -11,6 +11,12 @@ Commands:
 - ``cache``         inspect/heal the benchmark cache (verify/clear/info)
 - ``trace``         inspect recorded tuning traces (show/summary/diff)
 
+Fault tolerance: ``tune``/``scenario``/``experiments`` accept
+``--max-retries`` and ``--eval-timeout`` to override the evaluation
+fault policy (retry budget / per-call timeout); setting the
+``PPATUNER_FAULT_SEED`` environment variable injects a deterministic
+transient-fault schedule into every cell for chaos testing.
+
 Tracing: ``tune --trace FILE`` records the run's event stream as JSONL;
 ``scenario``/``experiments`` accept ``--trace-dir DIR`` to record every
 cell to ``trace-<spec_hash>.jsonl`` in that directory.  Recorded traces
@@ -49,6 +55,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_policy_from_args(args: argparse.Namespace):
+    """A FaultPolicy override when any resilience flag was given.
+
+    ``None`` (no flags) keeps the config default — and, for scenario
+    runs, the unchanged spec hashes of existing memo entries.
+    """
+    import dataclasses
+
+    from .reliability import FaultPolicy
+
+    overrides = {}
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
+    if getattr(args, "eval_timeout", None) is not None:
+        overrides["timeout_s"] = args.eval_timeout
+    if not overrides:
+        return None
+    return dataclasses.replace(FaultPolicy(), **overrides)
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .bench import OBJECTIVE_SPACES, generate_benchmark
     from .core import PoolOracle, PPATuner, PPATunerConfig
@@ -76,9 +102,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     recorder = NULL_RECORDER
     if args.trace:
         recorder = TraceRecorder(sinks=[JsonlSink(args.trace)])
+    policy = _fault_policy_from_args(args)
     config = PPATunerConfig(
         max_iterations=args.max_iterations, seed=args.seed,
     )
+    if policy is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, fault_policy=policy)
     try:
         result = PPATuner(config, recorder=recorder).tune(
             target.X, oracle, **kwargs
@@ -143,6 +174,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         runner=_experiment_runner(args),
         n_points=args.points,
+        fault_policy=_fault_policy_from_args(args),
     )
     print(format_scenario_table(result, methods=methods))
     if args.json:
@@ -169,11 +201,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     methods = _parse_methods(args.methods) or PAPER_METHODS
     runner = _experiment_runner(args)
+    fault_policy = _fault_policy_from_args(args)
 
     print("== Scenario One (Table 2) ==")
     one = scenario_one(
         scale=args.scale, seed=args.seed, methods=methods,
         repeats=args.repeats, runner=runner, n_points=args.points,
+        fault_policy=fault_policy,
     )
     print(format_scenario_table(one, methods=methods))
 
@@ -181,6 +215,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     two = scenario_two(
         scale=args.scale, seed=args.seed, methods=methods,
         repeats=args.repeats, runner=runner, n_points=args.points,
+        fault_policy=fault_policy,
     )
     print(format_scenario_table(two, methods=methods))
 
@@ -323,6 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="record the run's event stream to a JSONL file")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="retries per evaluation before quarantine "
+                        "(default: the FaultPolicy default)")
+    p.add_argument("--eval-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-evaluation timeout (default: none)")
     p.set_defaults(func=_cmd_tune)
 
     def add_runner_args(p: argparse.ArgumentParser) -> None:
@@ -349,6 +390,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-dir", default=None, metavar="DIR",
                        help="record every cell's event stream to "
                             "trace-<spec_hash>.jsonl under DIR")
+        p.add_argument("--max-retries", type=int, default=None,
+                       help="retries per evaluation before quarantine "
+                            "(changes memo keys when set)")
+        p.add_argument("--eval-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-evaluation timeout (default: none)")
 
     p = sub.add_parser(
         "scenario", help="reproduce a paper table",

@@ -5,7 +5,7 @@ from .config import PPATunerConfig
 from .decision import apply_decision_rules
 from .oracle import FlowOracle, Oracle, PoolOracle
 from .result import IterationRecord, TuningResult
-from .selection import select_next
+from .selection import select_next, select_with_fallback
 from .tuner import PPATuner
 from .uncertainty import UncertaintyRegions, prediction_rectangle
 
@@ -23,4 +23,5 @@ __all__ = [
     "apply_decision_rules",
     "prediction_rectangle",
     "select_next",
+    "select_with_fallback",
 ]

@@ -147,8 +147,17 @@ class CalibrationEngine:
                 return
             idx = np.asarray(new_indices, dtype=int)
             X_new = X_pool[idx]
+            partial = bool(np.isnan(y_obs[idx]).any())
             for j, model in enumerate(self.models):
-                model.update(X_new, y_obs[idx, j])
+                if partial:
+                    # Partial QoR reports: absorb only the rows this
+                    # metric was actually observed on.
+                    keep = np.isfinite(y_obs[idx, j])
+                    if not keep.any():
+                        continue
+                    model.update(X_new[keep], y_obs[idx[keep], j])
+                else:
+                    model.update(X_new, y_obs[idx, j])
                 self.stats.n_incremental += 1
                 if model.last_update_fallback:
                     self.stats.n_fallbacks += 1
@@ -165,6 +174,7 @@ class CalibrationEngine:
             return
 
         Xt = X_pool[sampled]
+        partial = bool(np.isnan(y_obs[sampled]).any())
         for j, model in enumerate(self.models):
             model.optimize = reopt
             # Both model kinds share the ``sources`` fit keyword; the
@@ -176,9 +186,16 @@ class CalibrationEngine:
                     [(self.X_source, self.Y_source[:, j])]
                     if len(self.X_source) else []
                 )
-            model.fit(
-                sources=src_j, X_target=Xt, y_target=y_obs[sampled, j],
-            )
+            if partial:
+                mask = sampled & np.isfinite(y_obs[:, j])
+                model.fit(
+                    sources=src_j, X_target=X_pool[mask],
+                    y_target=y_obs[mask, j],
+                )
+            else:
+                model.fit(
+                    sources=src_j, X_target=Xt, y_target=y_obs[sampled, j],
+                )
             self.stats.n_full_fits += 1
             if reopt:
                 self.stats.n_reopts += 1

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..reliability.policy import FaultPolicy
+
 
 @dataclass
 class PPATunerConfig:
@@ -48,6 +50,12 @@ class PPATunerConfig:
         init_fraction: Fraction of the target pool evaluated during
             initialization (the paper uses "no more than 5%").
         min_init: Lower bound on initial target evaluations.
+        fault_policy: How evaluation failures are retried, broken and
+            quarantined (see :class:`~repro.reliability.FaultPolicy`).
+            The default policy retries transients and quarantines
+            permanently failed candidates; ``None`` disables the
+            resilience layer entirely — the oracle is called bare and
+            every failure propagates.
     """
 
     tau: float = 16.0
@@ -65,6 +73,7 @@ class PPATunerConfig:
     seed: int = 0
     init_fraction: float = 0.02
     min_init: int = 5
+    fault_policy: FaultPolicy | None = field(default_factory=FaultPolicy)
 
     extra: dict = field(default_factory=dict)
 
@@ -85,6 +94,8 @@ class PPATunerConfig:
             raise ValueError("refit_every must be >= 1")
         if self.reopt_every is not None and self.reopt_every < 0:
             raise ValueError("reopt_every must be >= 0 (0 = never)")
+        if isinstance(self.fault_policy, dict):
+            self.fault_policy = FaultPolicy.from_json(self.fault_policy)
 
     @property
     def effective_reopt_every(self) -> int:

@@ -12,6 +12,10 @@ The stable contract both satisfy — and the one :class:`PPATuner
 the :class:`Oracle` protocol.  Third-party oracles (a real EDA tool, an
 RPC service) only need to implement it; no inheritance and no
 ``isinstance`` checks against concrete classes anywhere in the loop.
+Because the contract is structural, oracles compose by decoration:
+:class:`~repro.reliability.ResilientOracle` adds retry/timeout/breaker
+behavior and :class:`~repro.reliability.FaultInjectingOracle` injects
+seeded chaos, and both are again valid oracles.
 
 Every oracle counts evaluations — the paper's cost metric ("Runs").
 Re-evaluating an index is served from cache and not recounted.  Both

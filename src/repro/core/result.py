@@ -47,6 +47,11 @@ class TuningResult:
         evaluated_indices: Every pool index the tuner evaluated.
         stop_reason: Why the loop ended (``"all_decided"``,
             ``"max_iterations"`` or ``"pool_exhausted"``).
+        quarantined_indices: Pool indices permanently removed from the
+            loop after unrecoverable evaluation failure (empty on
+            healthy runs; see :mod:`repro.reliability`).
+        n_failed_evaluations: Permanent evaluation failures over the
+            run (quarantines plus circuit-breaker fast-fails).
     """
 
     pareto_indices: np.ndarray
@@ -58,6 +63,10 @@ class TuningResult:
         default_factory=lambda: np.empty(0, dtype=int)
     )
     stop_reason: str = ""
+    quarantined_indices: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=int)
+    )
+    n_failed_evaluations: int = 0
 
     def __post_init__(self) -> None:
         self.pareto_indices = np.asarray(self.pareto_indices, dtype=int)
@@ -66,3 +75,6 @@ class TuningResult:
         )
         if len(self.pareto_indices) != len(self.pareto_points):
             raise ValueError("pareto indices/points misaligned")
+        self.quarantined_indices = np.asarray(
+            self.quarantined_indices, dtype=int
+        )

@@ -56,3 +56,59 @@ def select_next(
             diameters=[float(all_diam[int(i)]) for i in chosen],
         ))
     return chosen
+
+
+def select_with_fallback(
+    regions: UncertaintyRegions,
+    eligible: np.ndarray,
+    batch_size: int,
+    try_evaluate,
+    recorder=None,
+    iteration: int = 0,
+) -> tuple[list[int], list[int]]:
+    """Eq. (13) selection with fallback past failed evaluations.
+
+    Selects by maximum diameter and evaluates immediately; when the
+    chosen candidate fails permanently (``try_evaluate`` returns
+    ``None``), it has been marked ineligible by the caller and the rule
+    falls through to the next-largest-diameter live candidate, until the
+    batch is filled or the eligible pool is exhausted.  On the no-fault
+    path exactly one ``SelectionMade`` is emitted per call — the event
+    stream is byte-identical to plain :func:`select_next`.
+
+    Args:
+        regions: Current uncertainty boxes.
+        eligible: Mask of selectable candidates; entries are cleared
+            in place as candidates are consumed (evaluated or failed).
+        batch_size: Target number of successful evaluations.
+        try_evaluate: ``(index) -> bool`` — evaluates and records the
+            candidate, returning False on permanent failure (after
+            quarantining/unmarking it as the policy dictates).
+        recorder: Optional trace recorder (passed to
+            :func:`select_next`).
+        iteration: Loop iteration tag for emitted events.
+
+    Returns:
+        ``(evaluated, failed)`` candidate index lists, in evaluation
+        order.
+    """
+    evaluated: list[int] = []
+    failed: list[int] = []
+    while len(evaluated) < batch_size:
+        want = batch_size - len(evaluated)
+        chosen = select_next(
+            regions, eligible, want, recorder=recorder,
+            iteration=iteration,
+        )
+        if len(chosen) == 0:
+            break
+        for idx in chosen:
+            idx = int(idx)
+            eligible[idx] = False
+            if try_evaluate(idx):
+                evaluated.append(idx)
+            else:
+                failed.append(idx)
+        if len(chosen) < want:
+            break
+    return evaluated, failed

@@ -26,14 +26,21 @@ import numpy as np
 from ..gp.kernels import make_kernel
 from ..gp.multisource import MultiSourceTransferGP
 from ..gp.transfer_gp import TransferGP
-from ..obs.events import IterationEnd, IterationStart, RunEnd, RunStart
+from ..obs.events import (
+    IterationEnd,
+    IterationStart,
+    PointQuarantined,
+    RunEnd,
+    RunStart,
+)
 from ..obs.recorder import NULL_RECORDER
 from ..pareto.dominance import pareto_indices as pareto_rows
+from ..reliability.errors import CircuitOpenError, PermanentEvaluationError
 from .calibration import CalibrationEngine
 from .config import PPATunerConfig
 from .decision import apply_decision_rules
 from .result import IterationRecord, TuningResult
-from .selection import select_next
+from .selection import select_with_fallback
 from .uncertainty import UncertaintyRegions, prediction_rectangle
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -156,6 +163,20 @@ class PPATuner:
             raise ValueError("pool and oracle size mismatch")
         m = oracle.n_objectives
 
+        # ---- Resilience layer. ----
+        # Imported here, not at module top: resilient pulls in the obs
+        # package, which imports back into core (replay -> result).
+        from ..reliability.resilient import ResilientOracle
+
+        policy = cfg.fault_policy
+        if policy is not None and not isinstance(oracle, ResilientOracle):
+            oracle = ResilientOracle(
+                oracle, policy=policy, seed=cfg.seed,
+                recorder=rec if rec else None,
+            )
+        quarantined = np.zeros(n, dtype=bool)
+        n_failed = 0
+
         if sources is not None and X_source is not None:
             raise ValueError(
                 "pass either X_source/Y_source or sources, not both"
@@ -215,17 +236,68 @@ class PPATuner:
         y_obs = np.full((n, m), np.nan)
         regions = UncertaintyRegions.unbounded(n, m)
 
-        for idx in init_indices:
-            y_obs[idx] = oracle.evaluate(int(idx))
+        def try_evaluate(idx: int, iteration: int = -1) -> bool:
+            """Evaluate + record one candidate; quarantine on failure.
+
+            Returns False when the evaluation failed permanently (the
+            candidate is then quarantined, or merely skipped when the
+            failure was the circuit breaker's systemic fast-fail).
+            """
+            nonlocal n_failed
+            try:
+                value = np.asarray(
+                    oracle.evaluate(idx), dtype=float
+                ).ravel()
+            except PermanentEvaluationError as exc:
+                n_failed += 1
+                if policy is None or policy.on_permanent_failure == "raise":
+                    raise
+                if isinstance(exc, CircuitOpenError):
+                    # Systemic rejection, not the candidate's fault:
+                    # skip it this round without quarantining.
+                    return False
+                quarantined[idx] = True
+                dropped[idx] = True
+                pareto[idx] = False
+                if rec:
+                    rec.emit(PointQuarantined(
+                        index=idx,
+                        iteration=iteration,
+                        attempts=exc.attempts,
+                        error=type(exc).__name__,
+                    ))
+                return False
+            y_obs[idx] = value
             sampled[idx] = True
-            regions.collapse(int(idx), y_obs[idx])
+            if np.all(np.isfinite(value)):
+                regions.collapse(idx, value)
+            else:
+                # Partial QoR report: pin the observed metrics, keep
+                # the missing metrics' accumulated interval open.
+                regions.collapse_partial(idx, value)
+            return True
+
+        for idx in init_indices:
+            try_evaluate(int(idx))
 
         # Absolute δ from the observed objective ranges (Eq. (11)/(12)).
         seen = np.vstack([Y_source, y_obs[sampled]]) if use_source else (
             y_obs[sampled]
         )
-        obj_range = seen.max(axis=0) - seen.min(axis=0)
-        obj_range = np.where(obj_range > 0, obj_range, 1.0)
+        if seen.size == 0:
+            obj_range = np.ones(m)
+        else:
+            with warnings.catch_warnings():
+                # All-NaN columns (every observation of a metric was a
+                # partial failure) warn before yielding NaN; the
+                # finite-guard below handles them.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                obj_range = np.nanmax(seen, axis=0) - np.nanmin(
+                    seen, axis=0
+                )
+        obj_range = np.where(
+            np.isfinite(obj_range) & (obj_range > 0), obj_range, 1.0
+        )
         delta = np.broadcast_to(
             np.asarray(cfg.delta_rel, dtype=float), (m,)
         ) * obj_range
@@ -326,16 +398,16 @@ class PPATuner:
             pareto[newly_pareto] = True
 
             # ---- Selection (lines 10-11). ----
+            # Max-diameter selection with fallback: a permanently
+            # failed candidate is quarantined and the rule falls
+            # through to the next-largest-diameter live candidate.
             eligible = (~dropped) & (~sampled)
-            chosen = select_next(
+            evaluated_now, failed_now = select_with_fallback(
                 regions, eligible, cfg.batch_size,
+                lambda i: try_evaluate(i, t),
                 recorder=rec, iteration=t,
             )
-            for idx in chosen:
-                y_obs[idx] = oracle.evaluate(int(idx))
-                sampled[idx] = True
-                regions.collapse(int(idx), y_obs[idx])
-            new_indices = [int(i) for i in chosen]
+            new_indices = evaluated_now
 
             live = ~dropped
             bounded = regions.is_bounded() & live
@@ -350,7 +422,7 @@ class PPATuner:
                 n_dropped=int(dropped.sum()),
                 n_evaluations=oracle.n_evaluations,
                 max_diameter=max_diam,
-                selected=[int(i) for i in chosen],
+                selected=[int(i) for i in evaluated_now],
             )
             history.append(record)
             if rec:
@@ -363,28 +435,58 @@ class PPATuner:
                     max_diameter=record.max_diameter,
                     selected=list(record.selected),
                 ))
-            if len(chosen) == 0 and not (~dropped & ~pareto).any():
-                stop_reason = "all_decided"
-                break
-            if len(chosen) == 0:
-                # Nothing evaluable remains; classify leftovers below.
-                stop_reason = "pool_exhausted"
+            if not evaluated_now and not failed_now:
+                if not (~dropped & ~pareto).any():
+                    stop_reason = "all_decided"
+                else:
+                    # Nothing evaluable remains; classify leftovers
+                    # below.  (A failed-only iteration is neither: the
+                    # quarantine changed the pool, so loop again.)
+                    stop_reason = "pool_exhausted"
                 break
 
         # ---- Finalize: resolve any leftover undecided candidates by
         # their representative values (observed if sampled, else the
         # midpoint of their region). ----
-        final_pareto = self._finalize(regions, dropped, pareto, y_obs, sampled)
+        final_pareto = self._finalize(
+            regions, dropped, pareto, y_obs, sampled, quarantined
+        )
         pareto_idx = np.nonzero(final_pareto)[0]
         # The paper's "Runs" counts tuning-loop tool invocations; the final
         # verification of predicted Pareto configurations is reported
         # separately, so snapshot the count first.
         loop_runs = oracle.n_evaluations
-        pareto_pts = np.vstack([
-            oracle.evaluate(int(i)) for i in pareto_idx
-        ]) if len(pareto_idx) else np.empty((0, m))
+        kept: list[int] = []
+        rows: list[np.ndarray] = []
+        for i in pareto_idx:
+            try:
+                rows.append(np.asarray(
+                    oracle.evaluate(int(i)), dtype=float
+                ).ravel())
+                kept.append(int(i))
+            except PermanentEvaluationError as exc:
+                n_failed += 1
+                if policy is None or policy.on_permanent_failure == "raise":
+                    raise
+                # Either way the point cannot be verified and leaves
+                # the reported set; a breaker fast-fail is systemic,
+                # so only a genuine failure is quarantined.
+                if not isinstance(exc, CircuitOpenError):
+                    quarantined[i] = True
+                    if rec:
+                        rec.emit(PointQuarantined(
+                            index=int(i),
+                            iteration=-1,
+                            attempts=exc.attempts,
+                            error=type(exc).__name__,
+                        ))
+        pareto_idx = np.asarray(kept, dtype=int)
+        pareto_pts = (
+            np.vstack(rows) if rows else np.empty((0, m))
+        )
 
         evaluated = np.nonzero(sampled)[0]
+        quarantined_idx = np.nonzero(quarantined)[0]
         if rec:
             rec.emit(RunEnd(
                 stop_reason=stop_reason,
@@ -393,6 +495,8 @@ class PPATuner:
                 seconds=time.perf_counter() - run_clock,
                 pareto_indices=[int(i) for i in pareto_idx],
                 evaluated_indices=[int(i) for i in evaluated],
+                quarantined_indices=[int(i) for i in quarantined_idx],
+                n_failed_evaluations=n_failed,
             ))
             rec.flush()
 
@@ -404,6 +508,8 @@ class PPATuner:
             history=history,
             evaluated_indices=evaluated,
             stop_reason=stop_reason,
+            quarantined_indices=quarantined_idx,
+            n_failed_evaluations=n_failed,
         )
 
     @staticmethod
@@ -413,17 +519,24 @@ class PPATuner:
         pareto: np.ndarray,
         y_obs: np.ndarray,
         sampled: np.ndarray,
+        quarantined: np.ndarray,
     ) -> np.ndarray:
         """Final Pareto mask over the pool.
 
         Classified-Pareto candidates are kept; undecided survivors are
         admitted if their representative point is non-dominated within
-        the live set (handles the T_max-hit case).
+        the live set (handles the T_max-hit case).  Quarantined
+        candidates never enter the reported set — their QoR cannot be
+        verified by the tool.
         """
         live = ~dropped
-        rep = np.where(
-            sampled[:, None], y_obs, 0.5 * (regions.lo + regions.hi)
-        )
+        # Metric-wise: use the observation where one exists (a partial
+        # report observes only some metrics), else the region midpoint.
+        observed = sampled[:, None] & np.isfinite(y_obs)
+        with np.errstate(invalid="ignore"):
+            # Unbounded rectangles yield inf-inf midpoints; those rows
+            # are filtered by is_bounded() below, never compared.
+            rep = np.where(observed, y_obs, 0.5 * (regions.lo + regions.hi))
         final = pareto.copy()
         live_ids = np.nonzero(live)[0]
         live_ids = live_ids[regions.is_bounded()[live_ids]]
@@ -434,8 +547,11 @@ class PPATuner:
         # non-dominated points always belong in the reported set (a
         # δ-dropped point can still be truly Pareto-optimal — δ-accuracy
         # bounds how much better it can be, not whether it exists).
-        sampled_ids = np.nonzero(sampled)[0]
+        # Partially-observed rows are excluded: NaN poisons dominance.
+        full_rows = sampled & np.all(np.isfinite(y_obs), axis=1)
+        sampled_ids = np.nonzero(full_rows)[0]
         if len(sampled_ids):
             nd_rows = pareto_rows(y_obs[sampled_ids])
             final[sampled_ids[nd_rows]] = True
+        final[quarantined] = False
         return final

@@ -98,6 +98,29 @@ class UncertaintyRegions:
         self.lo[index] = value
         self.hi[index] = value
 
+    def collapse_partial(self, index: int, value: np.ndarray) -> None:
+        """Pin only the *finite* metrics of a partial QoR observation.
+
+        A tool run can come back with some metrics unparsable (NaN).
+        The observed metrics are authoritative and collapse to points;
+        the missing metrics keep their accumulated interval, so the
+        region stays a valid (non-grown) Eq. (10) intersection and the
+        candidate remains eligible for δ-decisions once predictions
+        tighten the open metrics.
+
+        Raises:
+            ValueError: If ``value`` does not have one entry per
+                objective.
+        """
+        value = np.asarray(value, dtype=float).ravel()
+        if value.shape != (self.m,):
+            raise ValueError(
+                f"expected {self.m} objective values, got {value.shape}"
+            )
+        observed = np.isfinite(value)
+        self.lo[index, observed] = value[observed]
+        self.hi[index, observed] = value[observed]
+
     def diameters(self) -> np.ndarray:
         """Euclidean diagonal length of each box (Eq. (13) diameter).
 

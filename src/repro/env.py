@@ -1,0 +1,145 @@
+"""Typed process-environment configuration (single source of truth).
+
+Every ``PPATUNER_*`` environment variable the package honours is read
+through one accessor here, with its default documented next to the
+parser.  Call sites (the benchmark generator, the cache store, the
+experiment runner, the trace sinks, the fault-injection harness) must
+not call ``os.environ`` themselves — routing everything through this
+module keeps names, parsing and defaults from drifting apart per
+subsystem.
+
+Variables:
+
+``PPATUNER_WORKERS``
+    Worker-process count for benchmark cold builds and experiment cell
+    fan-out.  Default: the CPU count capped at 8 (the individual jobs
+    are short, so more workers only add fork cost).
+``PPATUNER_CACHE``
+    Benchmark cache directory.  Default: ``<repo>/.cache/benchmarks``.
+``PPATUNER_RUN_CACHE``
+    Run-memo directory for resumable experiment cells.  Default:
+    ``<repo>/.cache/runs``.
+``PPATUNER_TRACE_DIR``
+    Trace directory.  For experiment cells this is also the *switch*:
+    cells record their event stream only when it is set.  Default
+    directory when a path is needed anyway: ``<repo>/.cache/traces``.
+``PPATUNER_FULL``
+    ``1``/``true`` selects paper-scale MAC designs (see DESIGN.md §2).
+    Default: reduced designs.
+``PPATUNER_FAULT_SEED``
+    When set to an integer, experiment cells wrap their oracle in a
+    seeded :class:`~repro.reliability.FaultInjectingOracle` (transient,
+    value-preserving faults) behind a
+    :class:`~repro.reliability.ResilientOracle` — the chaos-testing
+    switch.  Default: unset, no injection.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "ENV_VARS",
+    "bench_cache_dir",
+    "default_trace_dir",
+    "fault_seed",
+    "full_scale",
+    "repo_root",
+    "run_cache_dir",
+    "trace_dir",
+    "workers",
+]
+
+#: Every honoured variable -> one-line description (README/docs source).
+ENV_VARS: dict[str, str] = {
+    "PPATUNER_WORKERS": "worker processes for cache builds and cell "
+                        "fan-out (default: CPU count, capped at 8)",
+    "PPATUNER_CACHE": "benchmark cache directory "
+                      "(default: <repo>/.cache/benchmarks)",
+    "PPATUNER_RUN_CACHE": "run-memo directory for resumable cells "
+                          "(default: <repo>/.cache/runs)",
+    "PPATUNER_TRACE_DIR": "record cell traces under this directory "
+                          "(unset: cell tracing off)",
+    "PPATUNER_FULL": "1/true selects paper-scale MAC designs "
+                     "(default: reduced)",
+    "PPATUNER_FAULT_SEED": "integer seed enabling deterministic "
+                           "transient fault injection in experiment "
+                           "cells (unset: no injection)",
+}
+
+
+def repo_root() -> Path:
+    """Repository root (anchor for the default cache directories)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def workers(explicit: int | None = None) -> int:
+    """Effective worker-process count (``PPATUNER_WORKERS``).
+
+    An explicit argument wins; otherwise the environment variable, then
+    the CPU count capped at 8.  Always at least 1.
+    """
+    if explicit is not None:
+        return max(1, int(explicit))
+    raw = os.environ.get("PPATUNER_WORKERS", "").strip()
+    if raw:
+        return max(1, int(raw))
+    return min(os.cpu_count() or 1, 8)
+
+
+def bench_cache_dir() -> Path:
+    """Benchmark cache directory (``PPATUNER_CACHE``)."""
+    override = os.environ.get("PPATUNER_CACHE")
+    if override:
+        return Path(override)
+    return repo_root() / ".cache" / "benchmarks"
+
+
+def run_cache_dir() -> Path:
+    """Run-memo directory (``PPATUNER_RUN_CACHE``)."""
+    override = os.environ.get("PPATUNER_RUN_CACHE")
+    if override:
+        return Path(override)
+    return repo_root() / ".cache" / "runs"
+
+
+def trace_dir() -> Path | None:
+    """Trace-directory *override* (``PPATUNER_TRACE_DIR``), or ``None``.
+
+    ``None`` means "cell tracing off" — experiment cells only record
+    when the variable is set.  Use :func:`default_trace_dir` when a
+    concrete directory is needed regardless.
+    """
+    override = os.environ.get("PPATUNER_TRACE_DIR")
+    return Path(override) if override else None
+
+
+def default_trace_dir() -> Path:
+    """Trace directory with the repo fallback (``PPATUNER_TRACE_DIR``)."""
+    return trace_dir() or (repo_root() / ".cache" / "traces")
+
+
+def full_scale() -> bool:
+    """Whether paper-scale designs were requested (``PPATUNER_FULL``)."""
+    return os.environ.get("PPATUNER_FULL", "").strip() in {"1", "true"}
+
+
+def fault_seed() -> int | None:
+    """Deterministic fault-injection seed (``PPATUNER_FAULT_SEED``).
+
+    Returns:
+        The integer seed, or ``None`` when injection is off.
+
+    Raises:
+        ValueError: If the variable is set but not an integer.
+    """
+    raw = os.environ.get("PPATUNER_FAULT_SEED", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"PPATUNER_FAULT_SEED must be an integer, got {raw!r}"
+        ) from None

@@ -35,6 +35,7 @@ from ..baselines import (
 from ..bench.dataset import OBJECTIVE_SPACES, BenchmarkDataset
 from ..core import PPATuner, PPATunerConfig
 from ..core.result import TuningResult
+from ..reliability.policy import FaultPolicy
 from ..pareto.dominance import pareto_front
 from ..pareto.hypervolume import hypervolume_error
 from ..pareto.metrics import adrs
@@ -135,6 +136,7 @@ def make_method(
     pool_size: int,
     seed: int,
     ppa_config: PPATunerConfig | None = None,
+    fault_policy: FaultPolicy | None = None,
 ):
     """Construct a tuner by its paper name.
 
@@ -144,6 +146,8 @@ def make_method(
         pool_size: Target pool size (bounds PPATuner's iteration cap).
         seed: RNG seed.
         ppa_config: Optional explicit PPATuner configuration.
+        fault_policy: Optional resilience policy; overrides the PPATuner
+            config's (baselines handle faults at the oracle layer only).
 
     Raises:
         ValueError: For an unknown method name.
@@ -166,6 +170,8 @@ def make_method(
         )
         if name == "PPATuner-NT":
             config = replace(config, transfer=False)
+        if fault_policy is not None:
+            config = replace(config, fault_policy=fault_policy)
         return PPATuner(config)
     raise ValueError(f"unknown method {name!r}")
 
@@ -211,6 +217,7 @@ def build_scenario_jobs(
     repeats: int = 1,
     source_ref: "DatasetRef | None" = None,
     target_ref: "DatasetRef | None" = None,
+    fault_policy: FaultPolicy | None = None,
 ) -> "list[RunJob]":
     """Expand one scenario into its independent cell jobs.
 
@@ -218,11 +225,27 @@ def build_scenario_jobs(
     the concurrency-safe benchmark cache instead of unpickling arrays.
     Repeat indices are the innermost expansion, so
     :meth:`ScenarioResult.get` keeps returning the repeat-0 cell.
+
+    An explicit ``fault_policy`` rides along as a spec param (it governs
+    the per-cell :class:`~repro.reliability.ResilientOracle`); ``None``
+    is dropped from the params, so default spec hashes — and therefore
+    existing memo entries — are unchanged.
     """
-    from ..runner import RunJob, RunSpec, config_fingerprint, dataset_id
+    from ..runner import (
+        RunJob,
+        RunSpec,
+        config_fingerprint,
+        dataset_id,
+        make_params,
+    )
 
     spaces = objective_spaces or OBJECTIVE_SPACES
     fingerprint = config_fingerprint(ppa_config)
+    params = make_params(
+        fault_policy=(
+            fault_policy.to_json() if fault_policy is not None else None
+        ),
+    )
     source_id = source_ref.label if source_ref else dataset_id(source)
     target_id = target_ref.label if target_ref else dataset_id(target)
     jobs = []
@@ -242,6 +265,7 @@ def build_scenario_jobs(
                     source_id=source_id,
                     target_id=target_id,
                     config_fingerprint=fingerprint,
+                    params=params,
                 )
                 jobs.append(RunJob(
                     spec=spec,
@@ -267,6 +291,7 @@ def run_scenario(
     runner: "ExperimentRunner | None" = None,
     source_ref: "DatasetRef | None" = None,
     target_ref: "DatasetRef | None" = None,
+    fault_policy: FaultPolicy | None = None,
 ) -> ScenarioResult:
     """Run every (method, objective-space) combination of one scenario.
 
@@ -294,6 +319,9 @@ def run_scenario(
             ``workers``.
         source_ref: Optional cache ref workers resolve ``source`` from.
         target_ref: Optional cache ref workers resolve ``target`` from.
+        fault_policy: Explicit per-evaluation resilience policy (retry /
+            timeout / breaker limits); ``None`` keeps the defaults and
+            existing memo keys.
 
     Returns:
         A :class:`ScenarioResult`.
@@ -305,6 +333,7 @@ def run_scenario(
         methods=methods, objective_spaces=objective_spaces,
         n_source=n_source, seed=seed, ppa_config=ppa_config,
         repeats=repeats, source_ref=source_ref, target_ref=target_ref,
+        fault_policy=fault_policy,
     )
     if runner is None:
         runner = ExperimentRunner(workers=workers, memo=None)
@@ -330,6 +359,7 @@ def _paper_scenario(
     repeats: int,
     runner,
     n_points: int | None,
+    fault_policy: FaultPolicy | None = None,
 ) -> ScenarioResult:
     """Shared driver for the two paper scenarios (cache-ref fan-out)."""
     from ..runner import DatasetRef
@@ -343,6 +373,7 @@ def _paper_scenario(
         source_ref.resolve(), target_ref.resolve(), which, budget_key,
         methods=methods, seed=seed, workers=workers, repeats=repeats,
         runner=runner, source_ref=source_ref, target_ref=target_ref,
+        fault_policy=fault_policy,
     )
 
 
@@ -354,6 +385,7 @@ def scenario_one(
     repeats: int = 1,
     runner: "ExperimentRunner | None" = None,
     n_points: int | None = None,
+    fault_policy: FaultPolicy | None = None,
 ) -> ScenarioResult:
     """Paper Table 2: Source1 -> Target1 (same design).
 
@@ -367,10 +399,12 @@ def scenario_one(
         runner: Explicit runner (memoization/progress); overrides
             ``workers``.
         n_points: Pool-size override for both benchmarks.
+        fault_policy: Explicit per-evaluation resilience policy.
     """
     return _paper_scenario(
         "scenario_one", "source1", "target1", "target1",
         scale, seed, methods, workers, repeats, runner, n_points,
+        fault_policy=fault_policy,
     )
 
 
@@ -382,6 +416,7 @@ def scenario_two(
     repeats: int = 1,
     runner: "ExperimentRunner | None" = None,
     n_points: int | None = None,
+    fault_policy: FaultPolicy | None = None,
 ) -> ScenarioResult:
     """Paper Table 3: Source2 -> Target2 (similar designs).
 
@@ -394,8 +429,10 @@ def scenario_two(
         runner: Explicit runner (memoization/progress); overrides
             ``workers``.
         n_points: Pool-size override for both benchmarks.
+        fault_policy: Explicit per-evaluation resilience policy.
     """
     return _paper_scenario(
         "scenario_two", "source2", "target2", "target2",
         scale, seed, methods, workers, repeats, runner, n_points,
+        fault_policy=fault_policy,
     )

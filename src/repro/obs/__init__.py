@@ -25,9 +25,12 @@ Quickstart::
 from .events import (
     EVENT_TYPES,
     CalibrationDone,
+    CircuitStateChange,
     DecisionSummary,
+    EvaluationRetry,
     IterationEnd,
     IterationStart,
+    PointQuarantined,
     RunEnd,
     RunStart,
     SelectionMade,
@@ -57,8 +60,10 @@ __all__ = [
     "EVENT_TYPES",
     "NULL_RECORDER",
     "CalibrationDone",
+    "CircuitStateChange",
     "Counter",
     "DecisionSummary",
+    "EvaluationRetry",
     "Histogram",
     "IterationEnd",
     "IterationStart",
@@ -66,6 +71,7 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "NullRecorder",
+    "PointQuarantined",
     "RunEnd",
     "RunStart",
     "SelectionMade",

@@ -30,9 +30,12 @@ from dataclasses import asdict, dataclass, field, fields
 __all__ = [
     "EVENT_TYPES",
     "CalibrationDone",
+    "CircuitStateChange",
     "DecisionSummary",
+    "EvaluationRetry",
     "IterationEnd",
     "IterationStart",
+    "PointQuarantined",
     "RunEnd",
     "RunStart",
     "SelectionMade",
@@ -194,6 +197,73 @@ class IterationEnd(TraceEvent):
 
 
 @dataclass(frozen=True)
+class EvaluationRetry(TraceEvent):
+    """A transient evaluation failure is about to be retried.
+
+    Emitted by :class:`~repro.reliability.ResilientOracle` before it
+    sleeps the backoff; the deterministic wait is part of the trace so
+    replayed runs can audit the full retry schedule.
+
+    Attributes:
+        index: Pool candidate index that failed.
+        attempt: Failed attempts so far (1 = first retry upcoming).
+        wait_s: Deterministic backoff about to be slept.
+        error: Exception class name of the transient failure.
+    """
+
+    type = "evaluation_retry"
+
+    index: int
+    attempt: int
+    wait_s: float
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class CircuitStateChange(TraceEvent):
+    """The circuit breaker changed state.
+
+    Attributes:
+        old_state: State before (``closed``/``open``/``half_open``).
+        new_state: State after.
+        consecutive_failures: Consecutive permanent failures at the
+            moment of transition.
+        index: Candidate involved, or -1 when not tied to one (e.g.
+            the half-open -> closed transition on a probe success).
+    """
+
+    type = "circuit_state_change"
+
+    old_state: str
+    new_state: str
+    consecutive_failures: int
+    index: int = -1
+
+
+@dataclass(frozen=True)
+class PointQuarantined(TraceEvent):
+    """The loop permanently removed a candidate after evaluation failure.
+
+    A quarantined point is treated as dropped (Eq. (11) semantics) and
+    excluded from the reported Pareto set; see DESIGN.md §10.
+
+    Attributes:
+        index: Quarantined pool candidate index.
+        iteration: Loop iteration at quarantine time (-1 during the
+            initialization or final-verification passes).
+        attempts: Evaluation attempts consumed before giving up.
+        error: Exception class name of the permanent failure.
+    """
+
+    type = "point_quarantined"
+
+    index: int
+    iteration: int
+    attempts: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
 class RunEnd(TraceEvent):
     """One ``tune`` call finished.
 
@@ -206,6 +276,10 @@ class RunEnd(TraceEvent):
         evaluated_indices: Every pool index sampled during the loop
             (ascending — matches ``TuningResult.evaluated_indices``).
         seconds: Wall-clock time of the whole ``tune`` call.
+        quarantined_indices: Candidates removed after permanent
+            evaluation failure (ascending; empty on healthy runs).
+        n_failed_evaluations: Permanent evaluation failures over the
+            whole run (quarantines plus breaker fast-fails).
     """
 
     type = "run_end"
@@ -216,6 +290,8 @@ class RunEnd(TraceEvent):
     seconds: float
     pareto_indices: list[int] = field(default_factory=list)
     evaluated_indices: list[int] = field(default_factory=list)
+    quarantined_indices: list[int] = field(default_factory=list)
+    n_failed_evaluations: int = 0
 
 
 #: Registry of concrete event types by their ``type`` tag.
@@ -229,6 +305,9 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         SelectionMade,
         ToolEvaluation,
         IterationEnd,
+        EvaluationRetry,
+        CircuitStateChange,
+        PointQuarantined,
         RunEnd,
     )
 }

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from .events import CalibrationDone, ToolEvaluation, TraceEvent
+from .events import (
+    CalibrationDone,
+    CircuitStateChange,
+    EvaluationRetry,
+    PointQuarantined,
+    ToolEvaluation,
+    TraceEvent,
+)
 from .metrics import MetricsRegistry
 from .sinks import MemorySink, Sink
 
@@ -114,6 +121,17 @@ class TraceRecorder:
                 )
             if event.reopt:
                 self.metrics.counter("calibration.reopts").inc()
+        elif isinstance(event, EvaluationRetry):
+            self.metrics.counter("reliability.retries").inc()
+            self.metrics.histogram("retry_wait_seconds").observe(
+                event.wait_s
+            )
+        elif isinstance(event, CircuitStateChange):
+            self.metrics.counter(
+                f"reliability.breaker.{event.new_state}"
+            ).inc()
+        elif isinstance(event, PointQuarantined):
+            self.metrics.counter("reliability.quarantined").inc()
         for sink in self.sinks:
             sink.write(event)
 

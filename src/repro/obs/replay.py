@@ -136,6 +136,10 @@ class TraceReplay:
                 end.evaluated_indices, dtype=int
             ),
             stop_reason=end.stop_reason,
+            quarantined_indices=np.asarray(
+                end.quarantined_indices, dtype=int
+            ),
+            n_failed_evaluations=end.n_failed_evaluations,
         )
 
 

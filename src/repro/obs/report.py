@@ -17,6 +17,9 @@ from typing import Iterable
 
 from .events import (
     CalibrationDone,
+    CircuitStateChange,
+    EvaluationRetry,
+    PointQuarantined,
     SelectionMade,
     ToolEvaluation,
     TraceEvent,
@@ -160,6 +163,22 @@ def summarize_trace(source: str | Path | TraceReplay) -> str:
         lines.append(
             f"selection: {n_sel} candidate(s) sent to the tool over "
             f"{len(sel)} decision round(s)"
+        )
+
+    retries = [e for e in events if isinstance(e, EvaluationRetry)]
+    breaker = [e for e in events if isinstance(e, CircuitStateChange)]
+    quarantined = [e for e in events if isinstance(e, PointQuarantined)]
+    if retries or breaker or quarantined:
+        wait = sum(e.wait_s for e in retries)
+        trips = sum(1 for e in breaker if e.new_state == "open")
+        lines.append(
+            f"reliability: {len(retries)} retry(ies) "
+            f"({wait:.3f}s backoff), {trips} breaker trip(s), "
+            f"{len(quarantined)} point(s) quarantined"
+            + (
+                " [" + ",".join(str(e.index) for e in quarantined) + "]"
+                if quarantined else ""
+            )
         )
     return "\n".join(lines)
 

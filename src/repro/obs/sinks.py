@@ -19,7 +19,6 @@ sink (see :class:`Sink`).
 from __future__ import annotations
 
 import json
-import os
 from collections import deque
 from pathlib import Path
 from typing import IO, Iterable, Protocol, runtime_checkable
@@ -122,10 +121,9 @@ class JsonlSink:
 
 def default_trace_dir() -> Path:
     """Trace directory: ``PPATUNER_TRACE_DIR`` or ``<repo>/.cache/traces``."""
-    override = os.environ.get("PPATUNER_TRACE_DIR")
-    if override:
-        return Path(override)
-    return Path(__file__).resolve().parents[3] / ".cache" / "traces"
+    from .. import env
+
+    return env.default_trace_dir()
 
 
 def trace_path_for(

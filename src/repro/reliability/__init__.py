@@ -1,0 +1,45 @@
+"""Fault-tolerant evaluation layer (retry, breaker, fault injection).
+
+Public surface:
+
+- :class:`FaultPolicy` — the single knob-set, carried on
+  :class:`~repro.core.config.PPATunerConfig` and exposed as CLI flags.
+- :class:`ResilientOracle` — retry/timeout/circuit-breaker decorator
+  over any oracle.
+- :class:`FaultPlan` / :class:`FaultInjectingOracle` — seeded,
+  reproducible chaos injection for tests, benchmarks and CI.
+- The :mod:`~repro.reliability.errors` taxonomy.
+
+See DESIGN.md §10 for the failure taxonomy and how quarantine interacts
+with the paper's δ-decision rules (Eq. (11)–(12)).
+"""
+
+from .errors import (
+    CircuitOpenError,
+    EvaluationError,
+    EvaluationTimeout,
+    PermanentEvaluationError,
+    TransientEvaluationError,
+)
+from .faults import (
+    FAULT_KINDS,
+    TRANSIENT_KINDS,
+    FaultInjectingOracle,
+    FaultPlan,
+)
+from .policy import FaultPolicy
+from .resilient import ResilientOracle
+
+__all__ = [
+    "FAULT_KINDS",
+    "TRANSIENT_KINDS",
+    "CircuitOpenError",
+    "EvaluationError",
+    "EvaluationTimeout",
+    "FaultInjectingOracle",
+    "FaultPlan",
+    "FaultPolicy",
+    "PermanentEvaluationError",
+    "ResilientOracle",
+    "TransientEvaluationError",
+]

@@ -1,0 +1,65 @@
+"""Failure taxonomy of the evaluation layer.
+
+Every failure the resilience machinery reasons about is an
+:class:`EvaluationError`.  The split that matters operationally is
+*transient* vs. *permanent*:
+
+- :class:`TransientEvaluationError` (and its :class:`EvaluationTimeout`
+  subclass) marks a failure worth retrying — a dropped license, a hung
+  job, a garbage QoR report.  :class:`~repro.reliability.ResilientOracle`
+  retries these with deterministic backoff.
+- :class:`PermanentEvaluationError` means the retry budget is exhausted
+  (or the failure is known unrecoverable); it carries the candidate
+  index and the attempt count so the tuning loop can quarantine the
+  point and fall back to the next-largest-diameter candidate.
+- :class:`CircuitOpenError` is the breaker's fast-fail: *systemic*
+  rather than per-candidate, so the loop skips the call without blaming
+  (quarantining) the candidate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CircuitOpenError",
+    "EvaluationError",
+    "EvaluationTimeout",
+    "PermanentEvaluationError",
+    "TransientEvaluationError",
+]
+
+
+class EvaluationError(RuntimeError):
+    """Base class of every evaluation-layer failure."""
+
+
+class TransientEvaluationError(EvaluationError):
+    """A retryable failure (dropped license, flaky report, ...)."""
+
+
+class EvaluationTimeout(TransientEvaluationError):
+    """The per-call timeout elapsed before the tool returned."""
+
+
+class PermanentEvaluationError(EvaluationError):
+    """A candidate's evaluation failed beyond recovery.
+
+    Attributes:
+        index: Pool candidate index that failed.
+        attempts: Evaluation attempts consumed (1 + retries).
+    """
+
+    def __init__(
+        self, message: str, index: int = -1, attempts: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.index = int(index)
+        self.attempts = int(attempts)
+
+
+class CircuitOpenError(PermanentEvaluationError):
+    """Fast-fail: the circuit breaker is open, no call was attempted.
+
+    Subclasses :class:`PermanentEvaluationError` so callers that only
+    distinguish retryable/fatal keep working, but the tuning loop treats
+    it as systemic — the rejected candidate is *not* quarantined.
+    """

@@ -1,0 +1,75 @@
+"""The one resilience knob-set: :class:`FaultPolicy`.
+
+Every layer that tolerates evaluation faults — the
+:class:`~repro.reliability.ResilientOracle` wrapper, the tuning loop's
+quarantine/fallback logic, the CLI flags, the experiment cells — is
+configured by this single frozen dataclass carried on
+:class:`~repro.core.config.PPATunerConfig`.  There are deliberately no
+per-module retry knobs or ad-hoc kwargs; change the policy, and every
+layer follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+__all__ = ["FaultPolicy"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the evaluation layer treats tool failures.
+
+    Attributes:
+        max_retries: Retries per ``evaluate`` call after the first
+            attempt (0 = fail on the first transient error).
+        timeout_s: Per-call wall-clock timeout in seconds; ``None``
+            disables the timeout entirely (no watcher thread is
+            started, keeping the no-fault path allocation-free).
+        backoff_base: First-retry backoff in seconds; retry ``k`` waits
+            ``backoff_base * 2**k`` scaled by deterministic jitter in
+            ``[0.5, 1.0]`` derived from the run seed (never wall-clock).
+        breaker_threshold: Consecutive *permanent* failures that trip
+            the circuit breaker open.
+        breaker_cooldown: Fast-fail rejections served while open before
+            the breaker half-opens and lets one probe call through.
+            Call-count based (not time based) so breaker behavior is
+            deterministic and replayable.
+        on_permanent_failure: ``"quarantine"`` removes the failed
+            candidate from the tuning loop and falls back to the
+            next-largest-diameter point; ``"raise"`` propagates the
+            :class:`~repro.reliability.errors.PermanentEvaluationError`.
+    """
+
+    max_retries: int = 2
+    timeout_s: float | None = None
+    backoff_base: float = 0.05
+    breaker_threshold: int = 5
+    breaker_cooldown: int = 8
+    on_permanent_failure: str = "quarantine"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ValueError("breaker_cooldown must be >= 1")
+        if self.on_permanent_failure not in ("quarantine", "raise"):
+            raise ValueError(
+                "on_permanent_failure must be 'quarantine' or 'raise'"
+            )
+
+    def to_json(self) -> dict:
+        """Flat JSON-serializable dict (CLI/spec transport)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultPolicy":
+        """Rebuild from :meth:`to_json` output (unknown keys ignored)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})

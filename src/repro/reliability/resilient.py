@@ -1,0 +1,305 @@
+"""Fault-tolerant decorator around any :class:`~repro.core.oracle.Oracle`.
+
+:class:`ResilientOracle` adds three production behaviors to an oracle
+without touching its contract:
+
+- **Bounded retry with deterministic backoff.**  Transient failures
+  (anything in ``retryable``, plus an all-NaN QoR vector, plus per-call
+  timeouts) are retried up to ``policy.max_retries`` times.  Backoff is
+  exponential with jitter drawn from
+  ``SeedSequence(seed, spawn_key=(index, attempt))`` — *never* from
+  wall-clock or a shared RNG — so the wait schedule for a given run
+  seed is reproducible across processes (and asserted so in tests).
+- **Per-call timeout.**  When ``policy.timeout_s`` is set, each inner
+  call runs on a watcher thread and is abandoned (daemon) once the
+  deadline passes, surfacing as a retryable
+  :class:`~repro.reliability.errors.EvaluationTimeout`.  Unset, no
+  thread is ever created — the no-fault path stays allocation-free.
+- **A circuit breaker.**  ``policy.breaker_threshold`` *consecutive*
+  permanent failures open the circuit; while open, calls fast-fail with
+  :class:`~repro.reliability.errors.CircuitOpenError` (no tool
+  invocation).  After ``policy.breaker_cooldown`` rejections the
+  breaker half-opens and lets one probe through: success closes it,
+  failure re-opens.  Cooldown is call-count based, keeping the state
+  machine deterministic and replayable.
+
+Every retry, breaker transition and wait lands in the
+:mod:`repro.obs` event stream (:class:`EvaluationRetry`,
+:class:`CircuitStateChange`) when a recorder is attached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..obs.events import CircuitStateChange, EvaluationRetry
+from ..obs.recorder import NULL_RECORDER
+from .errors import (
+    CircuitOpenError,
+    EvaluationTimeout,
+    PermanentEvaluationError,
+    TransientEvaluationError,
+)
+from .policy import FaultPolicy
+
+__all__ = ["ResilientOracle"]
+
+_SEED_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+class ResilientOracle:
+    """Retry + timeout + circuit-breaker wrapper over any oracle.
+
+    Satisfies the :class:`~repro.core.oracle.Oracle` protocol itself, so
+    it drops into ``PPATuner.tune`` and every baseline unchanged.
+
+    Attributes:
+        inner: The wrapped oracle.
+        policy: The governing :class:`FaultPolicy`.
+        seed: Base seed of the deterministic backoff jitter.
+        state: Breaker state (``"closed"``/``"open"``/``"half_open"``).
+        n_retries: Retries performed so far.
+        n_failures: Permanent (retry-exhausted) failures so far.
+        n_timeouts: Timed-out attempts so far.
+        n_rejections: Fast-fail rejections served while open.
+        backoff_log: ``(index, attempt, wait_s)`` of every backoff — the
+            deterministic schedule tests assert on.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        policy: FaultPolicy | None = None,
+        seed: int = 0,
+        recorder=None,
+        sleep=time.sleep,
+        retryable: tuple[type[BaseException], ...] = (
+            TransientEvaluationError,
+        ),
+    ) -> None:
+        """Wrap ``oracle``.
+
+        Args:
+            oracle: Any object satisfying the Oracle protocol.
+            policy: Resilience knobs; defaults to ``FaultPolicy()``.
+            seed: Base seed for backoff jitter (use the run seed).
+            recorder: Optional trace recorder for retry/breaker events;
+                defaults to the wrapped oracle's recorder so reliability
+                events join the same stream as its tool evaluations.
+            sleep: Backoff sleep function (injectable for tests).
+            retryable: Exception types treated as transient.  Timeouts
+                and all-NaN QoR vectors are always retryable.
+        """
+        self.inner = oracle
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.seed = int(seed)
+        self._sleep = sleep
+        self._retryable = tuple(retryable)
+        self.state = "closed"
+        self.n_retries = 0
+        self.n_failures = 0
+        self.n_timeouts = 0
+        self.n_rejections = 0
+        self.backoff_log: list[tuple[int, int, float]] = []
+        self._consecutive = 0
+        self._open_rejections = 0
+        self._recorder = NULL_RECORDER
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            inherited = getattr(oracle, "recorder", None)
+            if inherited:
+                self._recorder = inherited
+
+    # ------------------------------------------------------------------
+    # Oracle protocol (proxied)
+
+    @property
+    def n_candidates(self) -> int:
+        """Pool size of the wrapped oracle."""
+        return self.inner.n_candidates
+
+    @property
+    def n_objectives(self) -> int:
+        """QoR metric count of the wrapped oracle."""
+        return self.inner.n_objectives
+
+    @property
+    def n_evaluations(self) -> int:
+        """Distinct tool runs of the wrapped oracle."""
+        return self.inner.n_evaluations
+
+    @property
+    def recorder(self):
+        """Trace recorder for retry/breaker events.
+
+        Setting it also adopts the recorder into the wrapped oracle when
+        that oracle has no live stream of its own (mirroring
+        ``PPATuner.tune``'s adoption), so one trace file carries the
+        evaluations *and* their retries.
+        """
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, rec) -> None:
+        rec = rec if rec is not None else NULL_RECORDER
+        if hasattr(self.inner, "recorder"):
+            inner_rec = self.inner.recorder
+            if not inner_rec or inner_rec is self._recorder:
+                self.inner.recorder = rec
+        self._recorder = rec
+
+    def reset(self) -> None:
+        """Reset the wrapped oracle and the breaker/fault counters."""
+        self.inner.reset()
+        self.state = "closed"
+        self._consecutive = 0
+        self._open_rejections = 0
+
+    def evaluate(self, index: int) -> np.ndarray:
+        """Evaluate ``index`` with retry/timeout/breaker protection.
+
+        Raises:
+            CircuitOpenError: Fast-fail while the breaker is open.
+            PermanentEvaluationError: Retry budget exhausted.
+        """
+        index = int(index)
+        self._admit(index)
+        attempt = 0
+        while True:
+            try:
+                value = self._attempt(index)
+            except self._retryable as exc:
+                attempt += 1
+                if isinstance(exc, EvaluationTimeout):
+                    self.n_timeouts += 1
+                if attempt > self.policy.max_retries:
+                    self._record_failure(index)
+                    raise PermanentEvaluationError(
+                        f"candidate {index} failed after {attempt} "
+                        f"attempt(s): {exc}",
+                        index=index,
+                        attempts=attempt,
+                    ) from exc
+                wait = self._backoff(index, attempt - 1)
+                self.n_retries += 1
+                self.backoff_log.append((index, attempt, wait))
+                if self._recorder:
+                    self._recorder.emit(EvaluationRetry(
+                        index=index,
+                        attempt=attempt,
+                        wait_s=wait,
+                        error=type(exc).__name__,
+                    ))
+                if wait > 0:
+                    self._sleep(wait)
+                continue
+            self._record_success()
+            return value
+
+    def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate`; rows follow ``indices`` order."""
+        return np.vstack([self.evaluate(int(i)) for i in indices])
+
+    # ------------------------------------------------------------------
+    # one attempt
+
+    def _attempt(self, index: int) -> np.ndarray:
+        if self.policy.timeout_s is None:
+            value = self.inner.evaluate(index)
+        else:
+            value = self._attempt_with_timeout(index)
+        value = np.asarray(value, dtype=float)
+        if value.size and not np.isfinite(value).any():
+            # A fully-NaN report is a failed tool run wearing a return
+            # value; per-metric partial NaN passes through (the loop
+            # imputes by keeping the rectangle open on those metrics).
+            raise TransientEvaluationError(
+                f"all-NaN QoR vector for candidate {index}"
+            )
+        return value
+
+    def _attempt_with_timeout(self, index: int) -> np.ndarray:
+        box: dict = {}
+
+        def call() -> None:
+            try:
+                box["value"] = self.inner.evaluate(index)
+            except BaseException as exc:  # re-raised on the caller
+                box["error"] = exc
+
+        worker = threading.Thread(target=call, daemon=True)
+        worker.start()
+        worker.join(self.policy.timeout_s)
+        if worker.is_alive():
+            # Abandon the hung call; the daemon thread dies with the
+            # process.  A pool/flow oracle may still complete and cache
+            # the value — the retry will then serve it instantly.
+            raise EvaluationTimeout(
+                f"candidate {index} exceeded "
+                f"{self.policy.timeout_s:g}s timeout"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def _backoff(self, index: int, attempt: int) -> float:
+        """Exponential backoff with deterministic seeded jitter."""
+        base = self.policy.backoff_base * (2.0 ** attempt)
+        seq = np.random.SeedSequence(
+            self.seed, spawn_key=(index & _SEED_MASK, attempt)
+        )
+        u = float(np.random.default_rng(seq).random())
+        return base * (0.5 + 0.5 * u)
+
+    # ------------------------------------------------------------------
+    # circuit breaker
+
+    def _admit(self, index: int) -> None:
+        if self.state != "open":
+            return
+        self._open_rejections += 1
+        if self._open_rejections >= self.policy.breaker_cooldown:
+            # Cooldown served: half-open and let this call probe.
+            self._open_rejections = 0
+            self._transition("half_open", index)
+            return
+        self.n_rejections += 1
+        raise CircuitOpenError(
+            f"circuit open; rejecting candidate {index} "
+            f"({self._open_rejections}/{self.policy.breaker_cooldown} "
+            f"of cooldown served)",
+            index=index,
+        )
+
+    def _record_success(self) -> None:
+        self._consecutive = 0
+        if self.state == "half_open":
+            self._transition("closed")
+
+    def _record_failure(self, index: int) -> None:
+        self.n_failures += 1
+        self._consecutive += 1
+        if self.state == "half_open":
+            self._open_rejections = 0
+            self._transition("open", index)
+        elif (
+            self.state == "closed"
+            and self._consecutive >= self.policy.breaker_threshold
+        ):
+            self._open_rejections = 0
+            self._transition("open", index)
+
+    def _transition(self, new_state: str, index: int = -1) -> None:
+        old = self.state
+        self.state = new_state
+        if self._recorder:
+            self._recorder.emit(CircuitStateChange(
+                old_state=old,
+                new_state=new_state,
+                consecutive_failures=self._consecutive,
+                index=int(index),
+            ))

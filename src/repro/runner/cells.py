@@ -40,11 +40,77 @@ def _cell_recorder(spec: RunSpec):
     Returns ``(recorder, trace_path)``; the null recorder and an empty
     path when tracing is disabled.
     """
-    trace_dir = os.environ.get("PPATUNER_TRACE_DIR")
-    if not trace_dir:
+    from .. import env
+
+    trace_dir = env.trace_dir()
+    if trace_dir is None:
         return NULL_RECORDER, ""
     path = trace_path_for(spec.spec_hash(), trace_dir)
     return TraceRecorder(sinks=[JsonlSink(path)]), str(path)
+
+
+def _cell_oracle(spec: RunSpec, Y: np.ndarray):
+    """Per-cell oracle, optionally fault-injected and resilient.
+
+    The default is a bare :class:`~repro.core.PoolOracle` — zero added
+    overhead, unchanged traces.  Two switches activate the reliability
+    stack:
+
+    - ``PPATUNER_FAULT_SEED`` (chaos testing): wrap the pool in a
+      :class:`~repro.reliability.FaultInjectingOracle` whose plan is
+      derived from the fault seed and the spec hash — every cell gets
+      its own reproducible fault schedule — restricted to
+      value-preserving transient kinds so memoized results stay valid
+      and outcomes stay bit-identical to the fault-free run.
+    - A ``fault_policy`` spec param (scenario/CLI plumbing): govern the
+      :class:`~repro.reliability.ResilientOracle` with that policy
+      instead of the zero-backoff default used for chaos runs.
+    """
+    from .. import env
+    from ..core import PoolOracle
+
+    policy = _spec_fault_policy(spec)
+    chaos_seed = env.fault_seed()
+    oracle = PoolOracle(Y)
+    if chaos_seed is None and policy is None:
+        return oracle
+    from ..reliability import (
+        TRANSIENT_KINDS,
+        FaultInjectingOracle,
+        FaultPlan,
+        FaultPolicy,
+        ResilientOracle,
+    )
+
+    if chaos_seed is not None:
+        plan = FaultPlan.seeded(
+            derive_seed(chaos_seed, "faults", spec.spec_hash()),
+            oracle.n_candidates,
+            rate=0.05,
+            kinds=TRANSIENT_KINDS,
+        )
+        oracle = FaultInjectingOracle(oracle, plan, latency_s=0.001)
+    if policy is None:
+        policy = FaultPolicy(backoff_base=0.0)
+    return ResilientOracle(
+        oracle,
+        policy=policy,
+        seed=derive_seed(
+            spec.seed, "resilience", spec.method, spec.repeat
+        ),
+    )
+
+
+def _spec_fault_policy(spec: RunSpec):
+    """Decode the optional ``fault_policy`` spec param (None = default)."""
+    import json
+
+    policy_raw = spec.param("fault_policy", None)
+    if policy_raw is None:
+        return None
+    from ..reliability import FaultPolicy
+
+    return FaultPolicy.from_json(json.loads(policy_raw))
 
 
 def _attach_recorder(tuner, recorder) -> None:
@@ -98,7 +164,6 @@ def _method_config(spec: RunSpec, ppa_config):
 def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
                        recorder=NULL_RECORDER):
     """One (method, objective-space) cell of a paper table."""
-    from ..core import PoolOracle
     from ..experiments.scenarios import (
         PAPER_BUDGET_FRACTIONS,
         evaluate_outcome,
@@ -121,9 +186,10 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
     tuner = make_method(
         spec.method, budget, target.n, method_seed,
         ppa_config=_method_config(spec, ppa_config),
+        fault_policy=_spec_fault_policy(spec),
     )
     _attach_recorder(tuner, recorder)
-    oracle = PoolOracle(target.objectives(names))
+    oracle = _cell_oracle(spec, target.objectives(names))
     result = tuner.tune(
         target.X, oracle,
         X_source=X_source, Y_source=Y_source,
@@ -139,7 +205,7 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
 def _run_tune_cell(spec: RunSpec, source, target, ppa_config,
                    recorder=NULL_RECORDER):
     """A single configured PPATuner run (ablation sweeps, `_util`)."""
-    from ..core import PoolOracle, PPATuner, PPATunerConfig
+    from ..core import PPATuner, PPATunerConfig
     from ..experiments.scenarios import evaluate_outcome
 
     names = spec.objectives
@@ -153,7 +219,7 @@ def _run_tune_cell(spec: RunSpec, source, target, ppa_config,
     config = ppa_config or PPATunerConfig(seed=spec.seed)
     tuner = PPATuner(config)
     _attach_recorder(tuner, recorder)
-    oracle = PoolOracle(target.objectives(names))
+    oracle = _cell_oracle(spec, target.objectives(names))
     result = tuner.tune(target.X, oracle, **kwargs)
     outcome = evaluate_outcome(
         spec.method, spec.objective_space, result, target, names
@@ -171,7 +237,7 @@ def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config,
     """
     import json
 
-    from ..core import PoolOracle, PPATuner, PPATunerConfig
+    from ..core import PPATuner, PPATunerConfig
     from ..experiments.scenarios import evaluate_outcome
 
     names = spec.objectives
@@ -205,7 +271,7 @@ def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config,
     )
     tuner = PPATuner(config)
     _attach_recorder(tuner, recorder)
-    oracle = PoolOracle(target.objectives(names))
+    oracle = _cell_oracle(spec, target.objectives(names))
     result = tuner.tune(target.X, oracle, **kwargs)
 
     lambdas: list[list[float]] = []
@@ -232,7 +298,6 @@ def _run_convergence_cell(spec: RunSpec, source, target, ppa_config,
     """One method's anytime convergence trace."""
     import json
 
-    from ..core import PoolOracle
     from ..experiments.convergence import convergence_curve
     from ..experiments.scenarios import (
         PAPER_BUDGET_FRACTIONS,
@@ -254,9 +319,10 @@ def _run_convergence_cell(spec: RunSpec, source, target, ppa_config,
     tuner = make_method(
         spec.method, budget, target.n, method_seed,
         ppa_config=_method_config(spec, ppa_config),
+        fault_policy=_spec_fault_policy(spec),
     )
     _attach_recorder(tuner, recorder)
-    oracle = PoolOracle(target.objectives(names))
+    oracle = _cell_oracle(spec, target.objectives(names))
     result = tuner.tune(
         target.X, oracle,
         X_source=source.X[src_idx],

@@ -67,12 +67,12 @@ _ARRAY_KEYS = ("pareto_indices", "pareto_points", "evaluated_indices")
 def default_memo_dir() -> Path:
     """Directory for memoized run results.
 
-    Honours ``PPATUNER_RUN_CACHE``; defaults to ``<repo>/.cache/runs``.
+    Honours ``PPATUNER_RUN_CACHE``; defaults to ``<repo>/.cache/runs``
+    (see :func:`repro.env.run_cache_dir`).
     """
-    override = os.environ.get("PPATUNER_RUN_CACHE")
-    if override:
-        return Path(override)
-    return Path(__file__).resolve().parents[3] / ".cache" / "runs"
+    from .. import env
+
+    return env.run_cache_dir()
 
 
 def _fsync_dir(path: Path) -> None:
@@ -146,6 +146,7 @@ class RunMemo:
             "n_evaluations": int(result.n_evaluations),
             "n_iterations": int(result.n_iterations),
             "stop_reason": result.stop_reason,
+            "n_failed_evaluations": int(result.n_failed_evaluations),
             "history": [
                 {
                     "iteration": h.iteration,
@@ -175,6 +176,9 @@ class RunMemo:
             ),
             "evaluated_indices": np.asarray(
                 result.evaluated_indices, dtype=int
+            ),
+            "quarantined_indices": np.asarray(
+                result.quarantined_indices, dtype=int
             ),
             "meta": np.frombuffer(
                 json.dumps(meta, sort_keys=True).encode("utf-8"),
@@ -221,6 +225,13 @@ class RunMemo:
                 if missing:
                     raise KeyError(f"missing arrays {sorted(missing)}")
                 arrays = {key: data[key] for key in _ARRAY_KEYS}
+                # Optional array: absent in pre-reliability entries,
+                # which stay loadable (same MEMO_VERSION).
+                arrays["quarantined_indices"] = (
+                    data["quarantined_indices"]
+                    if "quarantined_indices" in data.files
+                    else np.empty(0, dtype=int)
+                )
                 meta = json.loads(bytes(data["meta"]).decode("utf-8"))
             if meta.get("version") != MEMO_VERSION:
                 raise ValueError(
@@ -255,6 +266,10 @@ class RunMemo:
             ],
             evaluated_indices=arrays["evaluated_indices"],
             stop_reason=meta["stop_reason"],
+            quarantined_indices=arrays["quarantined_indices"],
+            n_failed_evaluations=int(
+                meta.get("n_failed_evaluations", 0)
+            ),
         )
         outcome = MethodOutcome(
             method=meta["method"],

@@ -34,8 +34,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from .. import env
 from ..bench.dataset import BenchmarkDataset
-from ..bench.generate import cache_workers
 from ..core.config import PPATunerConfig
 from .cells import execute_spec
 from .memo import RunMemo
@@ -57,11 +57,10 @@ def runner_workers(workers: int | None = None) -> int:
     """Effective worker count (``PPATUNER_WORKERS`` convention).
 
     An explicit argument wins; otherwise the environment variable, then
-    the CPU count capped at 8 (same policy as the cache builder).
+    the CPU count capped at 8 (same policy as the cache builder — see
+    :func:`repro.env.workers`).
     """
-    if workers is not None:
-        return max(1, int(workers))
-    return cache_workers()
+    return env.workers(workers)
 
 
 @dataclass(frozen=True)
