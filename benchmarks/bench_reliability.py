@@ -36,6 +36,7 @@ import time
 import numpy as np
 
 from repro.core import PoolOracle, PPATuner, PPATunerConfig
+from repro.pareto import non_dominated_mask
 from repro.reliability import (
     TRANSIENT_KINDS,
     FaultInjectingOracle,
@@ -177,6 +178,16 @@ def chaos_check(n_pool: int = 140, seed: int = 11) -> dict:
             b.result.evaluated_indices
         )
         assert b.result.quarantined_indices.size == 0
+        # The verified front must be mutually non-dominated every
+        # round, faulted or not — dominated survivors of golden
+        # verification are a bug, not noise.
+        for outcome in (a, b):
+            assert non_dominated_mask(
+                outcome.result.pareto_points
+            ).all(), (
+                f"dominated point in reported front on "
+                f"{outcome.method}/{outcome.objective_space}"
+            )
         cells += 1
 
     # The schedule must actually contain faults at this pool size, or

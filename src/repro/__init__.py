@@ -4,8 +4,9 @@ Pareto-driven physical-design tool parameter auto-tuning via Gaussian
 process transfer learning, plus every substrate the paper depends on:
 a simulated PD flow, offline benchmarks, GP/transfer-GP models, Pareto
 metrics, the four baseline tuners, the parallel experiment runner, the
-structured observability layer, and the fault-tolerant evaluation
-layer (retries, circuit breaking, deterministic fault injection).
+structured observability layer, the fault-tolerant evaluation layer
+(retries, circuit breaking, deterministic fault injection), and the
+resumable ask/tell tuning service (``repro serve``).
 
 Quickstart::
 
@@ -55,14 +56,18 @@ __all__ = [
     "PoolOracle",
     "QoRReport",
     "RandomSearchTuner",
+    "RemoteTuner",
     "ResilientOracle",
     "RunSpec",
+    "ServiceClient",
     "Tcad19ActiveLearner",
     "ToolParameters",
     "TraceRecorder",
     "TransferGP",
     "TransferKernel",
     "TuningResult",
+    "TuningService",
+    "TuningSession",
     "adrs",
     "hypervolume",
     "hypervolume_error",
@@ -84,6 +89,10 @@ _EXPORTS = {
     "PPATunerConfig": "core",
     "PoolOracle": "core",
     "TuningResult": "core",
+    "TuningSession": "core",
+    "RemoteTuner": "service",
+    "ServiceClient": "service",
+    "TuningService": "service",
     "GPRegressor": "gp",
     "TransferGP": "gp",
     "TransferKernel": "gp",
@@ -121,6 +130,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         PPATunerConfig,
         PoolOracle,
         TuningResult,
+        TuningSession,
     )
     from .gp import GPRegressor, TransferGP, TransferKernel
     from .obs import (
@@ -138,6 +148,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         ResilientOracle,
     )
     from .runner import ExperimentRunner, RunSpec
+    from .service import RemoteTuner, ServiceClient, TuningService
 
 
 def __getattr__(name: str):

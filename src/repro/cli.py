@@ -327,6 +327,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from .service import serve
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    svc = serve(root=args.store, host=args.host, port=args.port)
+    n = len(svc.service.sessions())
+    print(f"tuning service on {svc.url} "
+          f"(store={args.store}, {n} session(s) recovered)", flush=True)
+    try:
+        svc.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        svc.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -365,6 +387,20 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="per-evaluation timeout (default: none)")
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-session ask/tell tuning service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8763,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--store", default=".cache/sessions",
+                   help="snapshot/trace directory; sessions found here "
+                        "are recovered on startup")
+    p.add_argument("--verbose", action="store_true",
+                   help="debug-level request logging")
+    p.set_defaults(func=_cmd_serve)
 
     def add_runner_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", type=int, default=None,

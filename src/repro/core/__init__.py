@@ -6,12 +6,14 @@ from .decision import apply_decision_rules
 from .oracle import FlowOracle, Oracle, PoolOracle
 from .result import IterationRecord, TuningResult
 from .selection import select_next, select_with_fallback
+from .session import EvaluationFailure, TuningSession, drive
 from .tuner import PPATuner
 from .uncertainty import UncertaintyRegions, prediction_rectangle
 
 __all__ = [
     "CalibrationEngine",
     "CalibrationStats",
+    "EvaluationFailure",
     "FlowOracle",
     "IterationRecord",
     "Oracle",
@@ -19,8 +21,10 @@ __all__ = [
     "PPATunerConfig",
     "PoolOracle",
     "TuningResult",
+    "TuningSession",
     "UncertaintyRegions",
     "apply_decision_rules",
+    "drive",
     "prediction_rectangle",
     "select_next",
     "select_with_fallback",

@@ -104,3 +104,53 @@ class PPATunerConfig:
             self.refit_every if self.reopt_every is None
             else self.reopt_every
         )
+
+    def to_json(self) -> dict:
+        """Fully JSON-serializable dict (session snapshots, service).
+
+        ``extra`` must itself be JSON-serializable; a vector
+        ``delta_rel`` becomes a list and is restored as an array.
+        """
+        delta = self.delta_rel
+        if isinstance(delta, np.ndarray):
+            delta = [float(v) for v in delta.ravel()]
+        else:
+            delta = float(delta)
+        return {
+            "tau": float(self.tau),
+            "delta_rel": delta,
+            "batch_size": int(self.batch_size),
+            "max_iterations": int(self.max_iterations),
+            "kernel": self.kernel,
+            "refit_every": int(self.refit_every),
+            "reopt_every": (
+                None if self.reopt_every is None else int(self.reopt_every)
+            ),
+            "incremental": bool(self.incremental),
+            "n_restarts": int(self.n_restarts),
+            "transfer": bool(self.transfer),
+            "noise_in_regions": bool(self.noise_in_regions),
+            "pareto_delta_scale": float(self.pareto_delta_scale),
+            "seed": int(self.seed),
+            "init_fraction": float(self.init_fraction),
+            "min_init": int(self.min_init),
+            "fault_policy": (
+                None if self.fault_policy is None
+                else self.fault_policy.to_json()
+            ),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PPATunerConfig":
+        """Rebuild from :meth:`to_json` output.
+
+        Unknown keys are rejected (a snapshot from a newer layout should
+        fail loudly, not half-apply); ``__post_init__`` revalidates and
+        revives the fault-policy dict.
+        """
+        data = dict(payload)
+        delta = data.get("delta_rel")
+        if isinstance(delta, list):
+            data["delta_rel"] = np.asarray(delta, dtype=float)
+        return cls(**data)

@@ -30,6 +30,31 @@ class IterationRecord:
     max_diameter: float
     selected: list[int] = field(default_factory=list)
 
+    def to_json(self) -> dict:
+        """Flat JSON dict (memo entries and session snapshots)."""
+        return {
+            "iteration": int(self.iteration),
+            "n_undecided": int(self.n_undecided),
+            "n_pareto": int(self.n_pareto),
+            "n_dropped": int(self.n_dropped),
+            "n_evaluations": int(self.n_evaluations),
+            "max_diameter": float(self.max_diameter),
+            "selected": [int(i) for i in self.selected],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "IterationRecord":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            iteration=payload["iteration"],
+            n_undecided=payload["n_undecided"],
+            n_pareto=payload["n_pareto"],
+            n_dropped=payload["n_dropped"],
+            n_evaluations=payload["n_evaluations"],
+            max_diameter=payload["max_diameter"],
+            selected=list(payload["selected"]),
+        )
+
 
 @dataclass
 class TuningResult:
@@ -77,4 +102,59 @@ class TuningResult:
             raise ValueError("pareto indices/points misaligned")
         self.quarantined_indices = np.asarray(
             self.quarantined_indices, dtype=int
+        )
+
+    def to_json(self) -> dict:
+        """Fully JSON-serializable dict (lossless modulo float repr).
+
+        Arrays become nested lists; :meth:`from_json` restores exact
+        values (Python floats round-trip through JSON bit-exactly).
+        """
+        return {
+            "pareto_indices": [int(i) for i in self.pareto_indices],
+            "pareto_points": [
+                [float(v) for v in row] for row in self.pareto_points
+            ],
+            "n_objectives": int(self.pareto_points.shape[1]),
+            "n_evaluations": int(self.n_evaluations),
+            "n_iterations": int(self.n_iterations),
+            "history": [h.to_json() for h in self.history],
+            "evaluated_indices": [
+                int(i) for i in self.evaluated_indices
+            ],
+            "stop_reason": self.stop_reason,
+            "quarantined_indices": [
+                int(i) for i in self.quarantined_indices
+            ],
+            "n_failed_evaluations": int(self.n_failed_evaluations),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TuningResult":
+        """Rebuild from :meth:`to_json` output."""
+        m = int(payload.get("n_objectives", 0))
+        points = np.asarray(payload["pareto_points"], dtype=float)
+        if points.size == 0:
+            points = np.empty((0, m))
+        return cls(
+            pareto_indices=np.asarray(
+                payload["pareto_indices"], dtype=int
+            ),
+            pareto_points=points,
+            n_evaluations=int(payload["n_evaluations"]),
+            n_iterations=int(payload["n_iterations"]),
+            history=[
+                IterationRecord.from_json(h)
+                for h in payload.get("history", [])
+            ],
+            evaluated_indices=np.asarray(
+                payload.get("evaluated_indices", []), dtype=int
+            ),
+            stop_reason=payload.get("stop_reason", ""),
+            quarantined_indices=np.asarray(
+                payload.get("quarantined_indices", []), dtype=int
+            ),
+            n_failed_evaluations=int(
+                payload.get("n_failed_evaluations", 0)
+            ),
         )

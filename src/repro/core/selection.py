@@ -9,6 +9,8 @@ trials).
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..obs.events import SelectionMade
@@ -62,7 +64,7 @@ def select_with_fallback(
     regions: UncertaintyRegions,
     eligible: np.ndarray,
     batch_size: int,
-    try_evaluate,
+    try_evaluate: Callable[[int], bool],
     recorder=None,
     iteration: int = 0,
 ) -> tuple[list[int], list[int]]:
@@ -70,7 +72,7 @@ def select_with_fallback(
 
     Selects by maximum diameter and evaluates immediately; when the
     chosen candidate fails permanently (``try_evaluate`` returns
-    ``None``), it has been marked ineligible by the caller and the rule
+    ``False``), it has been marked ineligible by the caller and the rule
     falls through to the next-largest-diameter live candidate, until the
     batch is filled or the eligible pool is exhausted.  On the no-fault
     path exactly one ``SelectionMade`` is emitted per call — the event

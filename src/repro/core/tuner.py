@@ -7,6 +7,12 @@ QoR metric on all source data plus the target evaluations so far,
 δ-dominated candidates and classifies δ-accurate Pareto candidates, and
 (4) sends the largest-uncertainty live candidate(s) to the tool.
 
+The loop itself lives in :class:`~repro.core.session.TuningSession`, an
+ask/tell state machine; :meth:`PPATuner.tune` is its closed-loop driver —
+it wires the resilience layer around the oracle, adopts the trace
+recorder, and feeds evaluations back until the session completes.  Both
+surfaces produce identical results and event streams for the same seed.
+
 The tuner accepts any object satisfying the
 :class:`~repro.core.oracle.Oracle` protocol and, when given a
 :class:`~repro.obs.recorder.TraceRecorder`, emits the full
@@ -17,33 +23,21 @@ which the run replays exactly.
 
 from __future__ import annotations
 
-import time
 import warnings
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..gp.kernels import make_kernel
-from ..gp.multisource import MultiSourceTransferGP
-from ..gp.transfer_gp import TransferGP
-from ..obs.events import (
-    IterationEnd,
-    IterationStart,
-    PointQuarantined,
-    RunEnd,
-    RunStart,
-)
 from ..obs.recorder import NULL_RECORDER
-from ..pareto.dominance import pareto_indices as pareto_rows
-from ..reliability.errors import CircuitOpenError, PermanentEvaluationError
 from .calibration import CalibrationEngine
 from .config import PPATunerConfig
-from .decision import apply_decision_rules
-from .result import IterationRecord, TuningResult
-from .selection import select_with_fallback
-from .uncertainty import UncertaintyRegions, prediction_rectangle
+from .result import TuningResult
+from .session import TuningSession, _finalize_mask, drive
+from .uncertainty import UncertaintyRegions
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..gp.multisource import MultiSourceTransferGP
+    from ..gp.transfer_gp import TransferGP
     from .oracle import Oracle
 
 
@@ -89,6 +83,7 @@ class PPATuner:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.models_: list[TransferGP | MultiSourceTransferGP] = []
         self.calibration_: CalibrationEngine | None = None
+        self.session_: TuningSession | None = None
 
     def tune(
         self,
@@ -134,6 +129,7 @@ class PPATuner:
             and hasattr(oracle, "recorder")
             and not getattr(oracle, "recorder")
         )
+        original_recorder = getattr(oracle, "recorder", None)
         if adopted:
             oracle.recorder = rec
         try:
@@ -142,7 +138,10 @@ class PPATuner:
             )
         finally:
             if adopted:
-                oracle.recorder = NULL_RECORDER
+                # Restore the caller's exact attribute value — it may
+                # have been None or another falsy sentinel, which must
+                # not be upgraded to NULL_RECORDER behind their back.
+                oracle.recorder = original_recorder
 
     def _tune(
         self,
@@ -155,13 +154,9 @@ class PPATuner:
     ) -> TuningResult:
         cfg = self.config
         rec = self.recorder
-        run_clock = time.perf_counter()
-        rng = np.random.default_rng(cfg.seed)
         X_pool = np.atleast_2d(np.asarray(X_pool, dtype=float))
-        n = len(X_pool)
-        if n != oracle.n_candidates:
+        if len(X_pool) != oracle.n_candidates:
             raise ValueError("pool and oracle size mismatch")
-        m = oracle.n_objectives
 
         # ---- Resilience layer. ----
         # Imported here, not at module top: resilient pulls in the obs
@@ -174,343 +169,25 @@ class PPATuner:
                 oracle, policy=policy, seed=cfg.seed,
                 recorder=rec if rec else None,
             )
-        quarantined = np.zeros(n, dtype=bool)
-        n_failed = 0
 
-        if sources is not None and X_source is not None:
-            raise ValueError(
-                "pass either X_source/Y_source or sources, not both"
-            )
-        if sources is None:
-            sources = (
-                [(X_source, Y_source)]
-                if X_source is not None and Y_source is not None
-                else []
-            )
-        source_list: list[tuple[np.ndarray, np.ndarray]] = []
-        if cfg.transfer:
-            for Xs, Ys in sources:
-                Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
-                Ys = np.atleast_2d(np.asarray(Ys, dtype=float))
-                if len(Xs) == 0:
-                    continue
-                if len(Xs) != len(Ys):
-                    raise ValueError("source X/Y misaligned")
-                if Ys.shape[1] != m:
-                    raise ValueError("source objectives mismatch oracle")
-                source_list.append((Xs, Ys))
-        use_source = bool(source_list)
-        X_source = (
-            np.vstack([Xs for Xs, _ in source_list])
-            if use_source else np.empty((0, X_pool.shape[1]))
+        session = TuningSession(
+            cfg,
+            X_pool,
+            oracle.n_objectives,
+            X_source=X_source,
+            Y_source=Y_source,
+            sources=sources,
+            init_indices=init_indices,
+            recorder=rec,
         )
-        Y_source = (
-            np.vstack([Ys for _, Ys in source_list])
-            if use_source else np.empty((0, m))
-        )
-
-        # Normalize features jointly to the unit cube (GP lengthscales
-        # then live on a common scale).
-        stacked = np.vstack([X_pool, X_source])
-        lo, hi = stacked.min(axis=0), stacked.max(axis=0)
-        span = np.where(hi > lo, hi - lo, 1.0)
-        Xn_pool = (X_pool - lo) / span
-        Xn_sources = [
-            ((Xs - lo) / span, Ys) for Xs, Ys in source_list
-        ]
-        Xn_source = (
-            (X_source - lo) / span if len(X_source) else X_source
-        )
-        multi = len(Xn_sources) > 1
-
-        # ---- Initialization (Algorithm 1 lines 1-2). ----
-        if init_indices is None:
-            n_init = max(cfg.min_init, int(round(n * cfg.init_fraction)))
-            n_init = min(n_init, n)
-            init_indices = rng.choice(n, size=n_init, replace=False)
-        init_indices = np.asarray(init_indices, dtype=int)
-
-        sampled = np.zeros(n, dtype=bool)
-        dropped = np.zeros(n, dtype=bool)
-        pareto = np.zeros(n, dtype=bool)
-        y_obs = np.full((n, m), np.nan)
-        regions = UncertaintyRegions.unbounded(n, m)
-
-        def try_evaluate(idx: int, iteration: int = -1) -> bool:
-            """Evaluate + record one candidate; quarantine on failure.
-
-            Returns False when the evaluation failed permanently (the
-            candidate is then quarantined, or merely skipped when the
-            failure was the circuit breaker's systemic fast-fail).
-            """
-            nonlocal n_failed
-            try:
-                value = np.asarray(
-                    oracle.evaluate(idx), dtype=float
-                ).ravel()
-            except PermanentEvaluationError as exc:
-                n_failed += 1
-                if policy is None or policy.on_permanent_failure == "raise":
-                    raise
-                if isinstance(exc, CircuitOpenError):
-                    # Systemic rejection, not the candidate's fault:
-                    # skip it this round without quarantining.
-                    return False
-                quarantined[idx] = True
-                dropped[idx] = True
-                pareto[idx] = False
-                if rec:
-                    rec.emit(PointQuarantined(
-                        index=idx,
-                        iteration=iteration,
-                        attempts=exc.attempts,
-                        error=type(exc).__name__,
-                    ))
-                return False
-            y_obs[idx] = value
-            sampled[idx] = True
-            if np.all(np.isfinite(value)):
-                regions.collapse(idx, value)
-            else:
-                # Partial QoR report: pin the observed metrics, keep
-                # the missing metrics' accumulated interval open.
-                regions.collapse_partial(idx, value)
-            return True
-
-        for idx in init_indices:
-            try_evaluate(int(idx))
-
-        # Absolute δ from the observed objective ranges (Eq. (11)/(12)).
-        seen = np.vstack([Y_source, y_obs[sampled]]) if use_source else (
-            y_obs[sampled]
-        )
-        if seen.size == 0:
-            obj_range = np.ones(m)
-        else:
-            with warnings.catch_warnings():
-                # All-NaN columns (every observation of a metric was a
-                # partial failure) warn before yielding NaN; the
-                # finite-guard below handles them.
-                warnings.simplefilter("ignore", RuntimeWarning)
-                obj_range = np.nanmax(seen, axis=0) - np.nanmin(
-                    seen, axis=0
-                )
-        obj_range = np.where(
-            np.isfinite(obj_range) & (obj_range > 0), obj_range, 1.0
-        )
-        delta = np.broadcast_to(
-            np.asarray(cfg.delta_rel, dtype=float), (m,)
-        ) * obj_range
-
-        if rec:
-            rec.emit(RunStart(
-                n_candidates=n,
-                n_objectives=m,
-                seed=cfg.seed,
-                n_init=len(init_indices),
-                n_sources=len(source_list),
-                delta=[float(d) for d in delta],
-            ))
-
-        if multi:
-            self.models_ = [
-                MultiSourceTransferGP(
-                    kernel=make_kernel(
-                        cfg.kernel, X_pool.shape[1], 0.3, 1.0
-                    ),
-                    # Optimistic prior (lambda ~ 0.67): archives are
-                    # presumed relevant until the likelihood says
-                    # otherwise; the default a=b=1 starts exactly at
-                    # lambda=0, a saddle the optimizer can stall on.
-                    a=0.2,
-                    b=1.0,
-                    n_restarts=max(cfg.n_restarts, 2),
-                    seed=cfg.seed + j,
-                )
-                for j in range(m)
-            ]
-        else:
-            self.models_ = [
-                TransferGP(
-                    kernel=make_kernel(
-                        cfg.kernel, X_pool.shape[1], 0.3, 1.0
-                    ),
-                    n_restarts=cfg.n_restarts,
-                    seed=cfg.seed + j,
-                )
-                for j in range(m)
-            ]
-
-        engine = CalibrationEngine(
-            self.models_, cfg, multi=multi, sources=Xn_sources,
-            X_source=Xn_source, Y_source=Y_source, recorder=rec,
-        )
-        engine.register_pool(Xn_pool)
-        self.calibration_ = engine
-
-        delta_norm = float(np.linalg.norm(delta))
-        history: list[IterationRecord] = []
-        stop_reason = "max_iterations"
-        new_indices: list[int] = []
-        for t in range(cfg.max_iterations):
-            undecided = ~dropped & ~pareto
-            # The loop runs while anything is undecided, and — per the
-            # selection rule (Eq. (13)), which samples Pareto-classified
-            # points too — while a classified point's region is still
-            # materially larger than δ and unverified by the tool.
-            unverified = (
-                pareto & ~sampled
-                & (regions.diameters() > delta_norm)
-                & regions.is_bounded()
-            )
-            if not undecided.any() and not unverified.any():
-                stop_reason = "all_decided"
-                break
-
-            if rec:
-                rec.emit(IterationStart(
-                    iteration=t,
-                    n_undecided=int(undecided.sum()),
-                    n_pareto=int(pareto.sum()),
-                    n_dropped=int(dropped.sum()),
-                ))
-
-            # ---- Model calibration (lines 4-6). ----
-            # The engine picks the exact path (full refit, on the
-            # re-optimization cadence) or the incremental fast path
-            # (rank-1 border updates absorbing the new evaluations).
-            active = ~dropped & ~sampled
-            engine.calibrate(t, Xn_pool, sampled, y_obs, new_indices)
-            active_ids = np.nonzero(active)[0]
-            mean, std = engine.predict(
-                active_ids, include_noise=cfg.noise_in_regions
-            )
-            rect_lo, rect_hi = prediction_rectangle(mean, std, cfg.tau)
-            regions.intersect(active_ids, rect_lo, rect_hi)
-
-            # ---- Decision-making (lines 7-9). ----
-            newly_dropped, newly_pareto = apply_decision_rules(
-                regions, undecided, pareto, delta,
-                pareto_delta=cfg.pareto_delta_scale * delta,
-                recorder=rec, iteration=t,
-            )
-            dropped[newly_dropped] = True
-            pareto[newly_pareto] = True
-
-            # ---- Selection (lines 10-11). ----
-            # Max-diameter selection with fallback: a permanently
-            # failed candidate is quarantined and the rule falls
-            # through to the next-largest-diameter live candidate.
-            eligible = (~dropped) & (~sampled)
-            evaluated_now, failed_now = select_with_fallback(
-                regions, eligible, cfg.batch_size,
-                lambda i: try_evaluate(i, t),
-                recorder=rec, iteration=t,
-            )
-            new_indices = evaluated_now
-
-            live = ~dropped
-            bounded = regions.is_bounded() & live
-            max_diam = (
-                float(regions.diameters()[bounded].max())
-                if bounded.any() else float("nan")
-            )
-            record = IterationRecord(
-                iteration=t,
-                n_undecided=int((~dropped & ~pareto).sum()),
-                n_pareto=int(pareto.sum()),
-                n_dropped=int(dropped.sum()),
-                n_evaluations=oracle.n_evaluations,
-                max_diameter=max_diam,
-                selected=[int(i) for i in evaluated_now],
-            )
-            history.append(record)
-            if rec:
-                rec.emit(IterationEnd(
-                    iteration=record.iteration,
-                    n_undecided=record.n_undecided,
-                    n_pareto=record.n_pareto,
-                    n_dropped=record.n_dropped,
-                    n_evaluations=record.n_evaluations,
-                    max_diameter=record.max_diameter,
-                    selected=list(record.selected),
-                ))
-            if not evaluated_now and not failed_now:
-                if not (~dropped & ~pareto).any():
-                    stop_reason = "all_decided"
-                else:
-                    # Nothing evaluable remains; classify leftovers
-                    # below.  (A failed-only iteration is neither: the
-                    # quarantine changed the pool, so loop again.)
-                    stop_reason = "pool_exhausted"
-                break
-
-        # ---- Finalize: resolve any leftover undecided candidates by
-        # their representative values (observed if sampled, else the
-        # midpoint of their region). ----
-        final_pareto = self._finalize(
-            regions, dropped, pareto, y_obs, sampled, quarantined
-        )
-        pareto_idx = np.nonzero(final_pareto)[0]
-        # The paper's "Runs" counts tuning-loop tool invocations; the final
-        # verification of predicted Pareto configurations is reported
-        # separately, so snapshot the count first.
-        loop_runs = oracle.n_evaluations
-        kept: list[int] = []
-        rows: list[np.ndarray] = []
-        for i in pareto_idx:
-            try:
-                rows.append(np.asarray(
-                    oracle.evaluate(int(i)), dtype=float
-                ).ravel())
-                kept.append(int(i))
-            except PermanentEvaluationError as exc:
-                n_failed += 1
-                if policy is None or policy.on_permanent_failure == "raise":
-                    raise
-                # Either way the point cannot be verified and leaves
-                # the reported set; a breaker fast-fail is systemic,
-                # so only a genuine failure is quarantined.
-                if not isinstance(exc, CircuitOpenError):
-                    quarantined[i] = True
-                    if rec:
-                        rec.emit(PointQuarantined(
-                            index=int(i),
-                            iteration=-1,
-                            attempts=exc.attempts,
-                            error=type(exc).__name__,
-                        ))
-        pareto_idx = np.asarray(kept, dtype=int)
-        pareto_pts = (
-            np.vstack(rows) if rows else np.empty((0, m))
-        )
-
-        evaluated = np.nonzero(sampled)[0]
-        quarantined_idx = np.nonzero(quarantined)[0]
-        if rec:
-            rec.emit(RunEnd(
-                stop_reason=stop_reason,
-                n_iterations=len(history),
-                n_evaluations=loop_runs,
-                seconds=time.perf_counter() - run_clock,
-                pareto_indices=[int(i) for i in pareto_idx],
-                evaluated_indices=[int(i) for i in evaluated],
-                quarantined_indices=[int(i) for i in quarantined_idx],
-                n_failed_evaluations=n_failed,
-            ))
-            rec.flush()
-
-        return TuningResult(
-            pareto_indices=pareto_idx,
-            pareto_points=pareto_pts,
-            n_evaluations=loop_runs,
-            n_iterations=len(history),
-            history=history,
-            evaluated_indices=evaluated,
-            stop_reason=stop_reason,
-            quarantined_indices=quarantined_idx,
-            n_failed_evaluations=n_failed,
-        )
+        self.session_ = session
+        try:
+            return drive(session, oracle, policy)
+        finally:
+            # The fitted surrogates and engine stay inspectable whether
+            # or not the drive completed (telemetry reads them).
+            self.models_ = session.models
+            self.calibration_ = session.engine
 
     @staticmethod
     def _finalize(
@@ -521,37 +198,11 @@ class PPATuner:
         sampled: np.ndarray,
         quarantined: np.ndarray,
     ) -> np.ndarray:
-        """Final Pareto mask over the pool.
+        """Final Pareto mask over the pool (verification admission).
 
-        Classified-Pareto candidates are kept; undecided survivors are
-        admitted if their representative point is non-dominated within
-        the live set (handles the T_max-hit case).  Quarantined
-        candidates never enter the reported set — their QoR cannot be
-        verified by the tool.
+        Delegates to the session-layer implementation; kept as a method
+        for API continuity.
         """
-        live = ~dropped
-        # Metric-wise: use the observation where one exists (a partial
-        # report observes only some metrics), else the region midpoint.
-        observed = sampled[:, None] & np.isfinite(y_obs)
-        with np.errstate(invalid="ignore"):
-            # Unbounded rectangles yield inf-inf midpoints; those rows
-            # are filtered by is_bounded() below, never compared.
-            rep = np.where(observed, y_obs, 0.5 * (regions.lo + regions.hi))
-        final = pareto.copy()
-        live_ids = np.nonzero(live)[0]
-        live_ids = live_ids[regions.is_bounded()[live_ids]]
-        if len(live_ids):
-            nd_rows = pareto_rows(rep[live_ids])
-            final[live_ids[nd_rows]] = True
-        # Golden values of every tool run are in hand; the observed
-        # non-dominated points always belong in the reported set (a
-        # δ-dropped point can still be truly Pareto-optimal — δ-accuracy
-        # bounds how much better it can be, not whether it exists).
-        # Partially-observed rows are excluded: NaN poisons dominance.
-        full_rows = sampled & np.all(np.isfinite(y_obs), axis=1)
-        sampled_ids = np.nonzero(full_rows)[0]
-        if len(sampled_ids):
-            nd_rows = pareto_rows(y_obs[sampled_ids])
-            final[sampled_ids[nd_rows]] = True
-        final[quarantined] = False
-        return final
+        return _finalize_mask(
+            regions, dropped, pareto, y_obs, sampled, quarantined
+        )

@@ -147,18 +147,7 @@ class RunMemo:
             "n_iterations": int(result.n_iterations),
             "stop_reason": result.stop_reason,
             "n_failed_evaluations": int(result.n_failed_evaluations),
-            "history": [
-                {
-                    "iteration": h.iteration,
-                    "n_undecided": h.n_undecided,
-                    "n_pareto": h.n_pareto,
-                    "n_dropped": h.n_dropped,
-                    "n_evaluations": h.n_evaluations,
-                    "max_diameter": h.max_diameter,
-                    "selected": [int(i) for i in h.selected],
-                }
-                for h in result.history
-            ],
+            "history": [h.to_json() for h in result.history],
             "telemetry": {
                 "wall_time": record.telemetry.wall_time,
                 "runs": record.telemetry.runs,
@@ -253,16 +242,7 @@ class RunMemo:
             n_evaluations=int(meta["n_evaluations"]),
             n_iterations=int(meta["n_iterations"]),
             history=[
-                IterationRecord(
-                    iteration=h["iteration"],
-                    n_undecided=h["n_undecided"],
-                    n_pareto=h["n_pareto"],
-                    n_dropped=h["n_dropped"],
-                    n_evaluations=h["n_evaluations"],
-                    max_diameter=h["max_diameter"],
-                    selected=list(h["selected"]),
-                )
-                for h in meta["history"]
+                IterationRecord.from_json(h) for h in meta["history"]
             ],
             evaluated_indices=arrays["evaluated_indices"],
             stop_reason=meta["stop_reason"],

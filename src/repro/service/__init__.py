@@ -1,0 +1,29 @@
+"""Multi-session tuning service: ask/tell over HTTP with snapshots.
+
+The service inverts deployment the same way
+:class:`~repro.core.session.TuningSession` inverts the loop: the tool
+(oracle) runs wherever the licenses are, the tuning brain runs behind
+``repro serve``, and every state change is atomically snapshotted so a
+killed server resumes each session bit-identically.
+
+- :class:`SessionStore` — crash-safe snapshot persistence.
+- :class:`TuningService` — session manager (create/ask/tell/result).
+- :class:`TuningServiceHTTP` / :func:`serve` — stdlib HTTP binding.
+- :class:`ServiceClient` — JSON-over-HTTP wrapper.
+- :class:`RemoteTuner` — drive a remote session with a local oracle,
+  mirroring :meth:`PPATuner.tune`.
+"""
+
+from .client import RemoteTuner, ServiceClient, ServiceError
+from .server import TuningService, TuningServiceHTTP, serve
+from .store import SessionStore
+
+__all__ = [
+    "RemoteTuner",
+    "ServiceClient",
+    "ServiceError",
+    "SessionStore",
+    "TuningService",
+    "TuningServiceHTTP",
+    "serve",
+]

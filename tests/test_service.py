@@ -1,0 +1,291 @@
+"""Tests for the multi-session tuning service (HTTP + snapshots).
+
+The server runs in-thread (``TuningServiceHTTP`` on an ephemeral port,
+store under ``tmp_path``) so these tests exercise the real wire
+protocol end to end: remote runs must be bit-identical to in-process
+``PPATuner.tune``, a killed server must recover every session from its
+snapshot store, and the error mapping must hold (404 unknown session,
+400 bad input, 409 wrong state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PoolOracle, PPATuner, PPATunerConfig
+from repro.obs import replay_trace
+from repro.pareto import non_dominated_mask
+from repro.reliability import FaultInjectingOracle, FaultPlan, FaultPolicy
+from repro.service import (
+    RemoteTuner,
+    ServiceClient,
+    ServiceError,
+    SessionStore,
+    TuningService,
+    TuningServiceHTTP,
+)
+
+
+def random_pool(seed: int, n: int = 40, d: int = 3, m: int = 2):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, d))
+    Y = rng.uniform(0.5, 2.0, size=(n, m))
+    return X, Y
+
+
+@pytest.fixture()
+def http(tmp_path):
+    """An in-thread service over a tmp store; yields (server, client)."""
+    server = TuningServiceHTTP(root=tmp_path / "store", port=0)
+    server.start()
+    try:
+        yield server, ServiceClient(server.url)
+    finally:
+        server.shutdown()
+
+
+class TestRemoteIdentity:
+    def test_remote_matches_inprocess(self, http):
+        _, client = http
+        X, Y = random_pool(2)
+        cfg = PPATunerConfig(max_iterations=15, seed=2)
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+
+        remote = RemoteTuner(client, config=cfg)
+        got = remote.tune(X, PoolOracle(Y))
+
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.allclose(ref.pareto_points, got.pareto_points)
+        assert np.array_equal(
+            ref.evaluated_indices, got.evaluated_indices
+        )
+        assert ref.n_evaluations == got.n_evaluations
+        assert ref.stop_reason == got.stop_reason
+        assert ref.history == got.history
+        assert non_dominated_mask(got.pareto_points).all()
+
+    def test_remote_matches_inprocess_under_faults(self, http):
+        _, client = http
+        X, Y = random_pool(9, n=50)
+        plan = FaultPlan.seeded(
+            9, len(X), rate=0.3,
+            kinds=("transient", "partial", "persistent"),
+        )
+        cfg = PPATunerConfig(
+            max_iterations=12, seed=9,
+            fault_policy=FaultPolicy(max_retries=2),
+        )
+        ref = PPATuner(cfg).tune(
+            X, FaultInjectingOracle(PoolOracle(Y), plan, latency_s=0.0)
+        )
+        got = RemoteTuner(client, config=cfg).tune(
+            X, FaultInjectingOracle(PoolOracle(Y), plan, latency_s=0.0)
+        )
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.array_equal(
+            ref.quarantined_indices, got.quarantined_indices
+        )
+        assert ref.n_failed_evaluations == got.n_failed_evaluations
+        assert non_dominated_mask(got.pareto_points).all()
+
+    def test_server_side_trace_replays_to_result(self, http, tmp_path):
+        server, client = http
+        X, Y = random_pool(4)
+        cfg = PPATunerConfig(max_iterations=15, seed=4)
+        remote = RemoteTuner(client, config=cfg, trace=True)
+        got = remote.tune(X, PoolOracle(Y))
+
+        trace = server.service.store.trace_path(remote.session_id)
+        assert trace.exists()
+        replayed = replay_trace(trace).to_result()
+        assert np.array_equal(
+            got.pareto_indices, replayed.pareto_indices
+        )
+        assert got.stop_reason == replayed.stop_reason
+
+
+class TestRestartSurvival:
+    def test_kill_and_restart_resumes_bit_identical(self, tmp_path):
+        X, Y = random_pool(5)
+        cfg = PPATunerConfig(max_iterations=15, seed=5)
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+
+        root = tmp_path / "store"
+        oracle = PoolOracle(Y)
+
+        # First server: create the session, feed nine tells, die.
+        server = TuningServiceHTTP(root=root, port=0)
+        server.start()
+        client = ServiceClient(server.url)
+        sid = client.create_session(cfg, X, Y.shape[1], session_id="job-a")
+        told = 0
+        while told < 9:
+            pending = client.ask(sid)["pending"]
+            assert pending
+            for idx in pending:
+                client.tell(
+                    sid, idx, values=oracle.evaluate(idx),
+                    n_evaluations=oracle.n_evaluations,
+                )
+                told += 1
+                if told >= 9:
+                    break
+        server.shutdown()
+
+        # Second server over the same store: session must be back.
+        server = TuningServiceHTTP(root=root, port=0)
+        server.start()
+        try:
+            client = ServiceClient(server.url)
+            assert [s["session_id"] for s in client.sessions()] == [sid]
+            while True:
+                pending = client.ask(sid)["pending"]
+                if not pending:
+                    break
+                for idx in pending:
+                    client.tell(
+                        sid, idx, values=oracle.evaluate(idx),
+                        n_evaluations=oracle.n_evaluations,
+                    )
+            got = client.result(sid)
+        finally:
+            server.shutdown()
+
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.allclose(ref.pareto_points, got.pareto_points)
+        assert ref.n_evaluations == got.n_evaluations
+        assert ref.stop_reason == got.stop_reason
+        assert ref.history == got.history
+
+    def test_corrupt_snapshot_dropped_on_recovery(self, tmp_path):
+        root = tmp_path / "store"
+        store = SessionStore(root)
+        root.mkdir(parents=True, exist_ok=True)
+        store.snapshot_path("broken").write_bytes(b"not an npz")
+
+        service = TuningService(root=root)
+        assert service.sessions() == []
+        assert not store.snapshot_path("broken").exists()
+
+
+class TestBudget:
+    def test_budget_exhaustion_stops_session(self, http):
+        _, client = http
+        X, Y = random_pool(7)
+        cfg = PPATunerConfig(max_iterations=30, seed=7)
+        result = RemoteTuner(
+            client, config=cfg, max_evaluations=8
+        ).tune(X, PoolOracle(Y))
+        assert result.stop_reason == "budget_exhausted"
+        assert result.n_evaluations <= 8
+        assert non_dominated_mask(result.pareto_points).all()
+
+
+class TestProtocolErrors:
+    def test_unknown_session_is_404(self, http):
+        _, client = http
+        with pytest.raises(ServiceError) as exc:
+            client.ask("no-such-session")
+        assert exc.value.status == 404
+
+    def test_bad_session_id_is_400(self, http):
+        _, client = http
+        X, Y = random_pool(0)
+        with pytest.raises(ServiceError) as exc:
+            client.create_session(
+                PPATunerConfig(), X, Y.shape[1],
+                session_id="../escape",
+            )
+        assert exc.value.status == 400
+
+    def test_duplicate_session_id_is_400(self, http):
+        _, client = http
+        X, Y = random_pool(0)
+        cfg = PPATunerConfig(max_iterations=5, seed=0)
+        client.create_session(cfg, X, Y.shape[1], session_id="dup")
+        with pytest.raises(ServiceError) as exc:
+            client.create_session(cfg, X, Y.shape[1], session_id="dup")
+        assert exc.value.status == 400
+
+    def test_result_before_done_is_409(self, http):
+        _, client = http
+        X, Y = random_pool(0)
+        sid = client.create_session(
+            PPATunerConfig(max_iterations=5, seed=0), X, Y.shape[1]
+        )
+        with pytest.raises(ServiceError) as exc:
+            client.result(sid)
+        assert exc.value.status == 409
+
+    def test_out_of_order_tell_is_400(self, http):
+        _, client = http
+        X, Y = random_pool(0)
+        sid = client.create_session(
+            PPATunerConfig(max_iterations=5, seed=0), X, Y.shape[1]
+        )
+        pending = client.ask(sid)["pending"]
+        wrong = next(i for i in range(len(X)) if i not in pending)
+        with pytest.raises(ServiceError) as exc:
+            client.tell(sid, wrong, values=Y[wrong])
+        assert exc.value.status == 400
+
+    def test_delete_removes_session_and_snapshot(self, http):
+        server, client = http
+        X, Y = random_pool(0)
+        sid = client.create_session(
+            PPATunerConfig(max_iterations=5, seed=0), X, Y.shape[1]
+        )
+        assert server.service.store.snapshot_path(sid).exists()
+        client.delete(sid)
+        assert not server.service.store.snapshot_path(sid).exists()
+        with pytest.raises(ServiceError) as exc:
+            client.status(sid)
+        assert exc.value.status == 404
+
+    def test_malformed_json_is_400(self, http):
+        server, _ = http
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            f"{server.url}/sessions",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+
+
+class TestStoreValidation:
+    def test_session_id_rejects_traversal(self, tmp_path):
+        from repro.service.store import validate_session_id
+
+        for bad in ("../x", "a/b", "", "." , "-lead", "x" * 80):
+            with pytest.raises(ValueError):
+                validate_session_id(bad)
+        for ok in ("job-a", "A1", "run_2.try-3"):
+            validate_session_id(ok)
+
+    def test_store_roundtrip_preserves_service_meta(self, tmp_path):
+        from repro.core import TuningSession
+
+        X, Y = random_pool(1)
+        session = TuningSession(
+            PPATunerConfig(max_iterations=5, seed=1), X, Y.shape[1]
+        )
+        session.ask()
+        store = SessionStore(tmp_path / "s")
+        store.save(
+            "one", session.snapshot(),
+            service_meta={"max_evaluations": 8, "traced": False},
+        )
+        loaded = store.load("one")
+        assert loaded is not None
+        snapshot, meta = loaded
+        assert meta == {"max_evaluations": 8, "traced": False}
+        restored = TuningSession.restore(snapshot)
+        assert restored.phase == session.phase
+        assert list(store.list_ids()) == ["one"]

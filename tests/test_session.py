@@ -1,0 +1,474 @@
+"""Tests for the ask/tell core: state machine, snapshots, invariants.
+
+Covers the two behavioral guarantees this layer introduced:
+
+- the verified front is *mutually non-dominated* (the dominance bugfix:
+  golden verification can reveal that a kept point dominates another,
+  and the dominated one must not be reported), clean and under faults;
+- ``TuningSession`` + :func:`drive` is bit-identical to
+  :meth:`PPATuner.tune` — same Pareto indices, same trace events —
+  and a snapshot taken at *any* tell boundary resumes to the same
+  final result.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvaluationFailure,
+    PoolOracle,
+    PPATuner,
+    PPATunerConfig,
+    TuningSession,
+    drive,
+)
+from repro.core.result import IterationRecord, TuningResult
+from repro.obs import MemorySink, TraceRecorder
+from repro.pareto import dominates, non_dominated_mask
+from repro.reliability import (
+    FaultInjectingOracle,
+    FaultPlan,
+    FaultPolicy,
+    ResilientOracle,
+)
+from repro.reliability.errors import PermanentEvaluationError
+
+
+def random_pool(seed: int, n: int = 40, d: int = 3, m: int = 2):
+    """A small random pool with correlated objectives."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, d))
+    Y = rng.uniform(0.5, 2.0, size=(n, m))
+    return X, Y
+
+
+def stripped_events(sink: MemorySink) -> list[dict]:
+    """Event stream as JSON dicts with wall-clock fields removed."""
+    out = []
+    for ev in sink.events:
+        d = ev.to_json()
+        d.pop("seconds", None)
+        out.append(d)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# dominance invariant (the bugfix)
+
+
+class TestFrontNonDominance:
+    def test_seed2_regression(self):
+        """The original repro: seed-2 run on a 40x2 random pool leaked a
+        dominated point into the verified front."""
+        X, Y = random_pool(2)
+        cfg = PPATunerConfig(max_iterations=15, seed=2)
+        result = PPATuner(cfg).tune(X, PoolOracle(Y))
+        assert non_dominated_mask(result.pareto_points).all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_front_mutually_non_dominated(self, seed):
+        X, Y = random_pool(seed)
+        cfg = PPATunerConfig(max_iterations=15, seed=seed)
+        result = PPATuner(cfg).tune(X, PoolOracle(Y))
+        assert non_dominated_mask(result.pareto_points).all()
+        # Reported points must really come from the pool.
+        assert np.allclose(Y[result.pareto_indices], result.pareto_points)
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_front_non_dominated_under_faults(self, seed):
+        X, Y = random_pool(seed, n=50)
+        plan = FaultPlan.seeded(
+            seed, len(X), rate=0.25,
+            kinds=("transient", "partial", "persistent"),
+        )
+        oracle = FaultInjectingOracle(PoolOracle(Y), plan, latency_s=0.0)
+        cfg = PPATunerConfig(
+            max_iterations=15, seed=seed,
+            fault_policy=FaultPolicy(max_retries=2),
+        )
+        result = PPATuner(cfg).tune(X, oracle)
+        assert non_dominated_mask(result.pareto_points).all()
+
+    def test_unreported_sampled_points_are_dominated(self):
+        """A sampled point missing from the front must be dominated by a
+        reported one (the corrected contract)."""
+        X, Y = random_pool(2)
+        cfg = PPATunerConfig(max_iterations=15, seed=2)
+        result = PPATuner(cfg).tune(X, PoolOracle(Y))
+        reported = {tuple(p) for p in result.pareto_points}
+        sampled = Y[result.evaluated_indices]
+        for p in sampled[non_dominated_mask(sampled)]:
+            assert tuple(p) in reported or any(
+                dominates(q, p) for q in result.pareto_points
+            )
+
+
+# ---------------------------------------------------------------------------
+# ask/tell equivalence with the closed-loop tuner
+
+
+class TestAskTellEquivalence:
+    @pytest.mark.parametrize("seed", [0, 2, 5])
+    def test_drive_matches_tune(self, seed):
+        X, Y = random_pool(seed)
+        cfg = PPATunerConfig(max_iterations=15, seed=seed)
+
+        sink_a = MemorySink()
+        oracle = PoolOracle(Y)
+        ref = PPATuner(
+            cfg, recorder=TraceRecorder(sinks=[sink_a])
+        ).tune(X, oracle)
+
+        # tune() lends its recorder to the oracle for ToolEvaluation
+        # events; the ask/tell caller wires both sides explicitly.
+        sink_b = MemorySink()
+        rec_b = TraceRecorder(sinks=[sink_b])
+        session = TuningSession(cfg, X, Y.shape[1], recorder=rec_b)
+        got = drive(session, PoolOracle(Y, recorder=rec_b))
+
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.allclose(ref.pareto_points, got.pareto_points)
+        assert np.array_equal(
+            ref.evaluated_indices, got.evaluated_indices
+        )
+        assert ref.n_evaluations == got.n_evaluations
+        assert ref.stop_reason == got.stop_reason
+        assert ref.history == got.history
+        assert stripped_events(sink_a) == stripped_events(sink_b)
+
+    def test_manual_ask_tell_loop(self):
+        """Hand-rolled ask/evaluate/tell loop, no drive() helper."""
+        X, Y = random_pool(4)
+        cfg = PPATunerConfig(max_iterations=15, seed=4)
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+
+        session = TuningSession(cfg, X, Y.shape[1])
+        oracle = PoolOracle(Y)
+        while not session.done:
+            pending = session.ask()
+            if not pending:
+                break
+            for idx in pending:
+                session.tell(
+                    idx,
+                    oracle.evaluate(idx),
+                    n_evaluations=oracle.n_evaluations,
+                )
+        got = session.result()
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert ref.n_evaluations == got.n_evaluations
+        assert ref.stop_reason == got.stop_reason
+
+    def test_ask_is_idempotent_while_pending(self):
+        X, Y = random_pool(1)
+        session = TuningSession(
+            PPATunerConfig(max_iterations=15, seed=1), X, Y.shape[1]
+        )
+        first = session.ask()
+        assert first
+        assert session.ask() == first
+
+    def test_faulted_drive_matches_tune(self):
+        X, Y = random_pool(9, n=50)
+        plan = FaultPlan.seeded(
+            9, len(X), rate=0.3,
+            kinds=("transient", "partial", "persistent"),
+        )
+        policy = FaultPolicy(max_retries=2)
+        cfg = PPATunerConfig(
+            max_iterations=12, seed=9, fault_policy=policy
+        )
+
+        ref = PPATuner(cfg).tune(
+            X,
+            FaultInjectingOracle(PoolOracle(Y), plan, latency_s=0.0),
+        )
+
+        session = TuningSession(cfg, X, Y.shape[1])
+        resilient = ResilientOracle(
+            FaultInjectingOracle(PoolOracle(Y), plan, latency_s=0.0),
+            policy,
+        )
+        got = drive(session, resilient, policy)
+
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.array_equal(
+            ref.quarantined_indices, got.quarantined_indices
+        )
+        assert ref.n_failed_evaluations == got.n_failed_evaluations
+        assert ref.stop_reason == got.stop_reason
+
+    def test_drive_raises_without_policy(self):
+        X, Y = random_pool(9, n=50)
+        # Every index fails permanently, so the first evaluation raises.
+        plan = FaultPlan(
+            faults=tuple(
+                (i, ("persistent",) * 4) for i in range(len(X))
+            )
+        )
+        session = TuningSession(
+            PPATunerConfig(max_iterations=5, seed=0), X, Y.shape[1]
+        )
+        resilient = ResilientOracle(
+            FaultInjectingOracle(PoolOracle(Y), plan, latency_s=0.0),
+            FaultPolicy(max_retries=1),
+        )
+        with pytest.raises(PermanentEvaluationError):
+            drive(session, resilient, policy=None)
+
+
+# ---------------------------------------------------------------------------
+# tell() contract
+
+
+class TestTellContract:
+    def _session(self):
+        X, Y = random_pool(0)
+        s = TuningSession(
+            PPATunerConfig(max_iterations=15, seed=0), X, Y.shape[1]
+        )
+        return s, Y
+
+    def test_rejects_out_of_order_index(self):
+        s, Y = self._session()
+        pending = s.ask()
+        assert len(pending) >= 1
+        wrong = pending[-1] + 1 if len(pending) == 1 else pending[-1]
+        with pytest.raises(ValueError, match="expected"):
+            s.tell(wrong, Y[wrong])
+
+    def test_rejects_values_and_failure_together(self):
+        s, Y = self._session()
+        idx = s.ask()[0]
+        with pytest.raises(ValueError):
+            s.tell(idx, Y[idx], failure=EvaluationFailure("boom"))
+
+    def test_rejects_neither_values_nor_failure(self):
+        s, _ = self._session()
+        idx = s.ask()[0]
+        with pytest.raises(ValueError):
+            s.tell(idx)
+
+    def test_rejects_bad_shape(self):
+        s, Y = self._session()
+        idx = s.ask()[0]
+        with pytest.raises(ValueError):
+            s.tell(idx, np.zeros(Y.shape[1] + 1))
+
+    def test_tell_after_done_raises(self):
+        s, Y = self._session()
+        drive(s, PoolOracle(Y))
+        assert s.done
+        with pytest.raises(RuntimeError):
+            s.tell(0, np.zeros(2))
+
+    def test_stop_jumps_to_verification(self):
+        """stop() discards pending asks and queues golden verification;
+        the stop reason survives through to the result."""
+        s, Y = self._session()
+        idx = s.ask()[0]
+        s.tell(idx, Y[idx], n_evaluations=1)
+        s.stop("operator")
+        assert s.phase in ("verify", "done")
+        while not s.done:
+            pending = s.ask()
+            if not pending:
+                break
+            for i in pending:
+                s.tell(i, Y[i])
+        result = s.result()
+        assert result.stop_reason == "operator"
+        assert s.ask() == []
+
+    def test_result_before_done_raises(self):
+        s, _ = self._session()
+        s.ask()
+        with pytest.raises(RuntimeError):
+            s.result()
+
+
+# ---------------------------------------------------------------------------
+# snapshot / resume
+
+
+class TestSnapshotResume:
+    def _roundtrip(self, snapshot: dict) -> dict:
+        """Push the snapshot through a real npz buffer, like the store."""
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            __meta__=np.frombuffer(
+                json.dumps(snapshot["meta"]).encode(), dtype=np.uint8
+            ),
+            **snapshot["arrays"],
+        )
+        buf.seek(0)
+        with np.load(buf) as data:
+            return {
+                "meta": json.loads(bytes(data["__meta__"]).decode()),
+                "arrays": {
+                    k: data[k] for k in data.files if k != "__meta__"
+                },
+            }
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    @pytest.mark.parametrize("cut", [1, 9, 23])
+    def test_resume_bit_identical(self, seed, cut):
+        X, Y = random_pool(seed)
+        cfg = PPATunerConfig(max_iterations=15, seed=seed)
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+
+        # Interrupt after `cut` tells, snapshot, discard the session.
+        session = TuningSession(cfg, X, Y.shape[1])
+        oracle = PoolOracle(Y)
+        told = 0
+        interrupted = False
+        while not session.done and not interrupted:
+            pending = session.ask()
+            if not pending:
+                break
+            for idx in pending:
+                session.tell(
+                    idx,
+                    oracle.evaluate(idx),
+                    n_evaluations=oracle.n_evaluations,
+                )
+                told += 1
+                if told >= cut:
+                    interrupted = True
+                    break
+        snap = self._roundtrip(session.snapshot())
+        del session
+
+        resumed = TuningSession.restore(snap)
+        got = drive(resumed, oracle)
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.allclose(ref.pareto_points, got.pareto_points)
+        assert np.array_equal(
+            ref.evaluated_indices, got.evaluated_indices
+        )
+        assert ref.n_evaluations == got.n_evaluations
+        assert ref.stop_reason == got.stop_reason
+        assert ref.history == got.history
+
+    def test_snapshot_of_done_session(self):
+        X, Y = random_pool(3)
+        cfg = PPATunerConfig(max_iterations=15, seed=3)
+        session = TuningSession(cfg, X, Y.shape[1])
+        ref = drive(session, PoolOracle(Y))
+        resumed = TuningSession.restore(
+            self._roundtrip(session.snapshot())
+        )
+        assert resumed.done
+        got = resumed.result()
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert ref.stop_reason == got.stop_reason
+
+    def test_corrupt_snapshot_rejected(self):
+        X, Y = random_pool(3)
+        session = TuningSession(
+            PPATunerConfig(max_iterations=15, seed=3), X, Y.shape[1]
+        )
+        idx = session.ask()[0]
+        session.tell(idx, Y[idx], n_evaluations=1)
+        snap = session.snapshot()
+        snap["arrays"]["y_obs"] = snap["arrays"]["y_obs"] + 1.0
+        with pytest.raises(ValueError, match="fingerprint"):
+            TuningSession.restore(snap)
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trips
+
+
+class TestJsonRoundTrips:
+    def test_evaluation_failure(self):
+        f = EvaluationFailure("Timeout", attempts=3, circuit_open=True)
+        g = EvaluationFailure.from_json(
+            json.loads(json.dumps(f.to_json()))
+        )
+        assert g == f
+
+    def test_config_roundtrip(self):
+        cfg = PPATunerConfig(
+            max_iterations=7, seed=11, batch_size=2,
+            delta_rel=np.array([0.05, 0.07]),
+        )
+        got = PPATunerConfig.from_json(
+            json.loads(json.dumps(cfg.to_json()))
+        )
+        assert got.max_iterations == cfg.max_iterations
+        assert got.seed == cfg.seed
+        assert np.allclose(got.delta_rel, cfg.delta_rel)
+
+    def test_config_rejects_unknown_keys(self):
+        with pytest.raises(TypeError):
+            PPATunerConfig.from_json({"not_a_field": 1})
+
+    def test_result_roundtrip(self):
+        X, Y = random_pool(5)
+        cfg = PPATunerConfig(max_iterations=15, seed=5)
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+        got = TuningResult.from_json(
+            json.loads(json.dumps(ref.to_json()))
+        )
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.allclose(ref.pareto_points, got.pareto_points)
+        assert ref.history == got.history
+        assert ref.stop_reason == got.stop_reason
+
+    def test_empty_result_roundtrip(self):
+        empty = TuningResult(
+            pareto_indices=np.empty(0, dtype=int),
+            pareto_points=np.empty((0, 2)),
+            n_evaluations=0,
+            n_iterations=0,
+            history=[],
+            evaluated_indices=np.empty(0, dtype=int),
+            stop_reason="stopped",
+        )
+        got = TuningResult.from_json(
+            json.loads(json.dumps(empty.to_json()))
+        )
+        assert got.pareto_points.shape == (0, 2)
+        assert len(got.pareto_indices) == 0
+
+    def test_iteration_record_roundtrip(self):
+        rec = IterationRecord(
+            iteration=3, n_undecided=10, n_pareto=4, n_dropped=2,
+            n_evaluations=8, max_diameter=0.5, selected=[1, 2],
+        )
+        assert IterationRecord.from_json(
+            json.loads(json.dumps(rec.to_json()))
+        ) == rec
+
+
+# ---------------------------------------------------------------------------
+# recorder adoption (satellite bugfix)
+
+
+class TestRecorderRestoration:
+    def test_tune_restores_none_recorder(self):
+        X, Y = random_pool(6)
+        oracle = PoolOracle(Y)
+        oracle.recorder = None
+        PPATuner(
+            PPATunerConfig(max_iterations=5, seed=6),
+            recorder=TraceRecorder(sinks=[MemorySink()]),
+        ).tune(X, oracle)
+        assert oracle.recorder is None
+
+    def test_tune_restores_custom_recorder(self):
+        X, Y = random_pool(6)
+        oracle = PoolOracle(Y)
+        sentinel = TraceRecorder(sinks=[MemorySink()])
+        oracle.recorder = sentinel
+        PPATuner(PPATunerConfig(max_iterations=5, seed=6)).tune(
+            X, oracle
+        )
+        assert oracle.recorder is sentinel
