@@ -37,6 +37,35 @@ class PPATunerConfig:
             cross-covariance instead of refitting from scratch.  The
             posterior is numerically equivalent; set ``False`` to force
             the exact from-scratch path every iteration.
+        shared_factor: Share one Cholesky factorization (and the pool
+            cross-covariance caches) across the per-metric GPs whenever
+            their covariance hyperparameters are identical — the same X
+            and kernel structure mean the factor is computed once and
+            only the per-metric RHS solves differ.  Bit-identical to the
+            per-model path (it deduplicates identical computations);
+            automatically inapplicable once hyperparameter
+            re-optimization makes the per-metric covariances diverge.
+            Set ``False`` to force fully independent per-GP fits (the
+            reference path for the equivalence harness).
+        float32_pool: Opt-in float32 storage for the pool prediction
+            caches (cross-covariance and whitened blocks).  Halves the
+            cache memory so pools of 10^5-10^6 candidates stay
+            cache/memory friendly; posterior means/variances move by at
+            most ~1e-5 relative (the Cholesky factor and all training
+            state stay float64).  Off by default — the float64 path is
+            the bit-exact reference.
+        pool_block: Row-chunk size for building (and extending) the pool
+            prediction caches.  Pools larger than this are evaluated in
+            blocks so the kernel's ``(pool, train, dim)`` broadcast
+            intermediate never materializes at full pool size.  ``0``
+            disables blocking.  Pools at or below the block size use the
+            exact pre-blocking code path.
+        decision_backend: Implementation of the δ-dominance decision
+            pass: ``"vectorized"`` (blocked, cache-friendly whole-pool
+            reductions; the default) or ``"reference"`` (the retained
+            pre-optimization implementation).  Both return identical
+            index sets; the reference backend exists for the
+            equivalence harness and as the benchmark baseline.
         n_restarts: Hyperparameter-optimizer restarts.
         transfer: If False, source data is ignored (ablation switch).
         noise_in_regions: Include the learned observation-noise variance
@@ -66,6 +95,10 @@ class PPATunerConfig:
     refit_every: int = 10
     reopt_every: int | None = None
     incremental: bool = True
+    shared_factor: bool = True
+    float32_pool: bool = False
+    pool_block: int = 32768
+    decision_backend: str = "vectorized"
     n_restarts: int = 1
     transfer: bool = True
     noise_in_regions: bool = False
@@ -94,6 +127,12 @@ class PPATunerConfig:
             raise ValueError("refit_every must be >= 1")
         if self.reopt_every is not None and self.reopt_every < 0:
             raise ValueError("reopt_every must be >= 0 (0 = never)")
+        if self.pool_block < 0:
+            raise ValueError("pool_block must be >= 0 (0 = unblocked)")
+        if self.decision_backend not in ("vectorized", "reference"):
+            raise ValueError(
+                "decision_backend must be 'vectorized' or 'reference'"
+            )
         if isinstance(self.fault_policy, dict):
             self.fault_policy = FaultPolicy.from_json(self.fault_policy)
 
@@ -127,6 +166,10 @@ class PPATunerConfig:
                 None if self.reopt_every is None else int(self.reopt_every)
             ),
             "incremental": bool(self.incremental),
+            "shared_factor": bool(self.shared_factor),
+            "float32_pool": bool(self.float32_pool),
+            "pool_block": int(self.pool_block),
+            "decision_backend": self.decision_backend,
             "n_restarts": int(self.n_restarts),
             "transfer": bool(self.transfer),
             "noise_in_regions": bool(self.noise_in_regions),

@@ -25,17 +25,31 @@ from ..pareto.dominance import pareto_indices
 from .uncertainty import UncertaintyRegions
 
 
+#: Chunk size of the blocked δ-domination reduction: 2048 rows keep the
+#: (block, block, m) comparison intermediates cache-resident even for
+#: pools of 10^5-10^6 candidates, where the old single-shot broadcast
+#: would materialize a multi-gigabyte (nf, nq, m) array.
+_DOM_BLOCK = 2048
+
+
 def _dominated_by_any(
     front: np.ndarray,
     front_ids: np.ndarray,
     queries: np.ndarray,
     query_ids: np.ndarray,
     slack: np.ndarray,
+    block: int = _DOM_BLOCK,
 ) -> np.ndarray:
     """Which queries are δ-dominated by some front point other than itself.
 
     A front point ``f`` δ-dominates query ``q`` iff
     ``f <= q + slack`` componentwise with strict ``<`` somewhere.
+
+    Evaluated in (query × front) blocks — pure elementwise comparisons
+    plus an ``any`` reduction over a partitioned axis, so the result is
+    bit-identical to the single-shot broadcast for every input; query
+    chunks whose rows are all already dominated stop scanning the
+    remaining front blocks early.
 
     Args:
         front: ``(nf, m)`` dominator corner values.
@@ -43,19 +57,32 @@ def _dominated_by_any(
         queries: ``(nq, m)`` query corner values.
         query_ids: Candidate ids of the query rows.
         slack: Length-``m`` δ vector.
+        block: Row-chunk size of the reduction.
 
     Returns:
         Length-``nq`` boolean mask.
     """
-    if len(front) == 0 or len(queries) == 0:
-        return np.zeros(len(queries), dtype=bool)
-    # (nf, nq): does front i dominate query j?
-    relaxed = queries[None, :, :] + slack[None, None, :]
-    weak = np.all(front[:, None, :] <= relaxed, axis=2)
-    strict = np.any(front[:, None, :] < relaxed, axis=2)
-    dom = weak & strict
-    not_self = front_ids[:, None] != query_ids[None, :]
-    return np.any(dom & not_self, axis=0)
+    nf, nq = len(front), len(queries)
+    if nf == 0 or nq == 0:
+        return np.zeros(nq, dtype=bool)
+    out = np.empty(nq, dtype=bool)
+    for qs in range(0, nq, block):
+        qe = min(qs + block, nq)
+        relaxed = queries[qs:qe] + slack[None, :]  # (bq, m)
+        qid = query_ids[qs:qe]
+        dom_q = np.zeros(qe - qs, dtype=bool)
+        for fs in range(0, nf, block):
+            fe = min(fs + block, nf)
+            F = front[fs:fe]
+            # (bf, bq): does front i dominate query j?
+            weak = np.all(F[:, None, :] <= relaxed[None, :, :], axis=2)
+            strict = np.any(F[:, None, :] < relaxed[None, :, :], axis=2)
+            not_self = front_ids[fs:fe, None] != qid[None, :]
+            dom_q |= np.any(weak & strict & not_self, axis=0)
+            if dom_q.all():
+                break
+        out[qs:qe] = dom_q
+    return out
 
 
 def _dominated_with_second_pass(
@@ -96,6 +123,7 @@ def apply_decision_rules(
     pareto_delta: np.ndarray | None = None,
     recorder=None,
     iteration: int = 0,
+    backend: str = "vectorized",
 ) -> tuple[np.ndarray, np.ndarray]:
     """One decision-making pass over the live candidates.
 
@@ -114,15 +142,31 @@ def apply_decision_rules(
         recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`
             fed one ``DecisionSummary`` per pass.
         iteration: Loop iteration tag for the emitted event.
+        backend: ``"vectorized"`` (blocked whole-pool reductions) or
+            ``"reference"`` (the retained pre-optimization pass in
+            :mod:`repro.core.reference`); both return identical index
+            sets.
 
     Returns:
         ``(newly_dropped, newly_pareto)`` index arrays (disjoint).
     """
     undecided = np.asarray(undecided, dtype=bool)
     pareto = np.asarray(pareto, dtype=bool)
-    newly_dropped, newly_pareto = _decide(
-        regions, undecided, pareto, delta, pareto_delta
-    )
+    if backend == "reference":
+        from .reference import decide_reference
+
+        newly_dropped, newly_pareto = decide_reference(
+            regions, undecided, pareto, delta, pareto_delta
+        )
+    elif backend == "vectorized":
+        newly_dropped, newly_pareto = _decide(
+            regions, undecided, pareto, delta, pareto_delta
+        )
+    else:
+        raise ValueError(
+            f"unknown decision backend {backend!r}; "
+            "expected 'vectorized' or 'reference'"
+        )
     if recorder:
         n = len(undecided)
         n_dropped = (

@@ -1,0 +1,217 @@
+"""Retained reference implementations of the decision hot path.
+
+The vectorized/blocked fast paths in :mod:`repro.core.decision` and
+:mod:`repro.pareto.dominance` are required to return *identical* index
+sets to the code they replaced.  This module keeps that replaced code
+alive, verbatim, for three jobs:
+
+- the ``decision_backend="reference"`` config switch (the pre-PR
+  decision pass, selectable at runtime);
+- the pre-PR baseline arm of ``benchmarks/bench_calibration.py``;
+- the scalar per-point oracles the equivalence property tests in
+  ``tests/test_fastpath_equivalence.py`` compare against (plain double
+  loops straight off the paper's Eq. (11)/(12) definitions — slow, but
+  obviously correct).
+
+Nothing here is on the hot path; clarity beats speed throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pareto.dominance import non_dominated_mask_reference
+from .uncertainty import UncertaintyRegions
+
+__all__ = [
+    "decide_reference",
+    "dominated_by_any_reference",
+    "dominated_by_any_scalar",
+    "intersect_scalar",
+    "non_dominated_mask_scalar",
+    "pareto_indices_reference",
+]
+
+
+def pareto_indices_reference(points: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows (per-point loop baseline)."""
+    return np.nonzero(non_dominated_mask_reference(points))[0]
+
+
+def dominated_by_any_reference(
+    front: np.ndarray,
+    front_ids: np.ndarray,
+    queries: np.ndarray,
+    query_ids: np.ndarray,
+    slack: np.ndarray,
+) -> np.ndarray:
+    """Pre-PR δ-domination check: one full (nf, nq, m) broadcast."""
+    if len(front) == 0 or len(queries) == 0:
+        return np.zeros(len(queries), dtype=bool)
+    relaxed = queries[None, :, :] + slack[None, None, :]
+    weak = np.all(front[:, None, :] <= relaxed, axis=2)
+    strict = np.any(front[:, None, :] < relaxed, axis=2)
+    dom = weak & strict
+    not_self = front_ids[:, None] != query_ids[None, :]
+    return np.any(dom & not_self, axis=0)
+
+
+def _dominated_with_second_pass_reference(
+    all_values: np.ndarray,
+    all_ids: np.ndarray,
+    queries: np.ndarray,
+    query_ids: np.ndarray,
+    slack: np.ndarray,
+) -> np.ndarray:
+    """Pre-PR front-accelerated domination with the on-front recheck."""
+    front_rows = pareto_indices_reference(all_values)
+    result = dominated_by_any_reference(
+        all_values[front_rows], all_ids[front_rows],
+        queries, query_ids, slack,
+    )
+    on_front = np.isin(query_ids, all_ids[front_rows])
+    recheck = ~result & on_front
+    if recheck.any():
+        result[recheck] = dominated_by_any_reference(
+            all_values, all_ids,
+            queries[recheck], query_ids[recheck], slack,
+        )
+    return result
+
+
+def decide_reference(
+    regions: UncertaintyRegions,
+    undecided: np.ndarray,
+    pareto: np.ndarray,
+    delta: np.ndarray,
+    pareto_delta: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The pre-PR decision pass (Eq. (11)/(12)), kept verbatim.
+
+    Same contract as ``repro.core.decision._decide``; the vectorized
+    backend must return identical ``(newly_dropped, newly_pareto)``
+    index arrays for every input.
+    """
+    delta = np.asarray(delta, dtype=float).ravel()
+    if delta.shape != (regions.m,):
+        raise ValueError(
+            f"delta must have {regions.m} entries, got {delta.shape}"
+        )
+    if pareto_delta is None:
+        pareto_delta = delta
+    pareto_delta = np.asarray(pareto_delta, dtype=float).ravel()
+    if pareto_delta.shape != (regions.m,):
+        raise ValueError("pareto_delta must match the objective count")
+    live = undecided | pareto
+    live_ids = np.nonzero(live)[0]
+    und_ids = np.nonzero(undecided)[0]
+    if len(und_ids) == 0:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int)
+
+    bounded = regions.is_bounded()
+    live_ids = live_ids[bounded[live_ids]]
+    und_ids = und_ids[bounded[und_ids]]
+    if len(live_ids) == 0 or len(und_ids) == 0:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int)
+
+    pess = regions.hi[live_ids]
+    opt = regions.lo[live_ids]  # noqa: F841 — kept for parity
+
+    dropped_mask = _dominated_with_second_pass_reference(
+        pess, live_ids, regions.lo[und_ids], und_ids, delta,
+    )
+    newly_dropped = und_ids[dropped_mask]
+
+    survivors = np.setdiff1d(live_ids, newly_dropped, assume_unique=True)
+    if len(survivors) == 0:
+        return newly_dropped, np.empty(0, dtype=int)
+    surv_opt = regions.lo[survivors]
+    candidates = np.setdiff1d(und_ids, newly_dropped, assume_unique=True)
+    if len(candidates) == 0:
+        return newly_dropped, np.empty(0, dtype=int)
+    could_be_dominated = _dominated_with_second_pass_reference(
+        surv_opt,
+        survivors,
+        regions.hi[candidates] - pareto_delta[None, :],
+        candidates,
+        np.zeros_like(pareto_delta),
+    )
+    newly_pareto = candidates[~could_be_dominated]
+    return newly_dropped, newly_pareto
+
+
+# ---------------------------------------------------------------------
+# scalar oracles for the property tests — definition-direct double loops
+
+
+def non_dominated_mask_scalar(points: np.ndarray) -> np.ndarray:
+    """O(n²) definitional non-dominated mask (no sorting, no blocks)."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    n = len(pts)
+    mask = np.ones(n, dtype=bool)
+    for j in range(n):
+        for i in range(n):
+            if i == j:
+                continue
+            if bool(
+                np.all(pts[i] <= pts[j]) and np.any(pts[i] < pts[j])
+            ):
+                mask[j] = False
+                break
+    return mask
+
+
+def dominated_by_any_scalar(
+    front: np.ndarray,
+    front_ids: np.ndarray,
+    queries: np.ndarray,
+    query_ids: np.ndarray,
+    slack: np.ndarray,
+) -> np.ndarray:
+    """Double-loop δ-domination straight off Eq. (11)."""
+    front = np.atleast_2d(np.asarray(front, dtype=float))
+    queries = np.atleast_2d(np.asarray(queries, dtype=float))
+    slack = np.asarray(slack, dtype=float).ravel()
+    out = np.zeros(len(queries), dtype=bool)
+    for j in range(len(queries)):
+        relaxed = queries[j] + slack
+        for i in range(len(front)):
+            if front_ids[i] == query_ids[j]:
+                continue
+            if bool(
+                np.all(front[i] <= relaxed)
+                and np.any(front[i] < relaxed)
+            ):
+                out[j] = True
+                break
+    return out
+
+
+def intersect_scalar(
+    regions: UncertaintyRegions,
+    indices: np.ndarray,
+    new_lo: np.ndarray,
+    new_hi: np.ndarray,
+) -> None:
+    """Per-point Eq. (10) intersection with the degenerate fallback.
+
+    Mutates ``regions`` exactly like
+    :meth:`~repro.core.uncertainty.UncertaintyRegions.intersect`, one
+    candidate at a time.
+    """
+    indices = np.asarray(indices)
+    new_lo = np.atleast_2d(np.asarray(new_lo, dtype=float))
+    new_hi = np.atleast_2d(np.asarray(new_hi, dtype=float))
+    for r, idx in enumerate(indices):
+        prev_lo = regions.lo[idx].copy()
+        prev_hi = regions.hi[idx].copy()
+        lo = np.maximum(prev_lo, new_lo[r])
+        hi = np.minimum(prev_hi, new_hi[r])
+        empty = lo > hi
+        if empty.any():
+            new_mid = 0.5 * (new_lo[r] + new_hi[r])
+            nearest = np.clip(new_mid, prev_lo, prev_hi)
+            lo = np.where(empty, nearest, lo)
+            hi = np.where(empty, nearest, hi)
+        regions.lo[idx] = lo
+        regions.hi[idx] = hi

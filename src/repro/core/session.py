@@ -594,6 +594,7 @@ class TuningSession:
             self.regions, undecided, self.pareto, self.delta,
             pareto_delta=cfg.pareto_delta_scale * self.delta,
             recorder=rec, iteration=t,
+            backend=cfg.decision_backend,
         )
         self.dropped[newly_dropped] = True
         self.pareto[newly_pareto] = True

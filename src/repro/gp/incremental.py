@@ -52,6 +52,8 @@ class IncrementalGPMixin:
     _pool_X: np.ndarray | None = None
     _pool_K: np.ndarray | None = None
     _pool_V: np.ndarray | None = None
+    _pool_block: int = 0
+    _pool_dtype: type | None = None
     #: Whether the last :meth:`update` call had to fall back to an exact
     #: from-scratch refactorization (jitter escalation).
     last_update_fallback: bool = False
@@ -83,6 +85,115 @@ class IncrementalGPMixin:
     def _append_data(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
         """Append new target rows to the stored training data."""
         raise NotImplementedError
+
+    def _cov_params(self) -> tuple:
+        """Hashable digest of every covariance-defining hyperparameter."""
+        raise NotImplementedError
+
+    def _adopt_structure(self, lead: "IncrementalGPMixin") -> None:
+        """Adopt a lead model's training-data structure (X, tasks, ...)."""
+        raise NotImplementedError
+
+    # ---- shared-factor support ---------------------------------------
+
+    def covariance_signature(self) -> tuple | None:
+        """Signature deciding whether two models share one covariance.
+
+        Two models of the same class with equal signatures fitted on the
+        same training inputs build the *same* ``K`` matrix — one
+        Cholesky factorization serves both, only the per-model RHS
+        solves (``alpha``) differ.  Returns ``None`` when the model
+        cannot state its covariance (sharing is then disabled).
+        """
+        try:
+            return (type(self).__name__, self._cov_params())
+        except NotImplementedError:
+            return None
+
+    def adopt_fit(
+        self, lead: "IncrementalGPMixin", y: np.ndarray
+    ) -> "IncrementalGPMixin":
+        """Refit by adopting a lead model's factorization (shared factor).
+
+        Equivalent to calling ``fit`` with ``optimize`` off on the same
+        stacked inputs and this model's own ``y`` — but the covariance
+        and its Cholesky factor are taken from ``lead`` instead of being
+        recomputed, so only the standardization and the ``alpha`` solve
+        run per model.  Bit-identical to an independent fit because it
+        deduplicates computations that would produce the same bits; the
+        caller must have checked :meth:`covariance_signature` equality.
+
+        Args:
+            lead: A freshly fitted model with an identical covariance.
+            y: This model's stacked raw targets (sources-then-target
+                order, exactly what its own ``fit`` would see).
+
+        Returns:
+            ``self``.
+
+        Raises:
+            RuntimeError: If ``lead`` is not fitted.
+            ValueError: If ``y`` does not match the lead's row count.
+        """
+        if not lead.is_fitted:  # type: ignore[attr-defined]
+            raise RuntimeError("adopt_fit() from an unfitted lead")
+        assert lead._y_raw is not None
+        y = np.asarray(y, dtype=float).ravel()
+        if len(y) != len(lead._y_raw):
+            raise ValueError(
+                f"y has {len(y)} rows, lead was fitted on "
+                f"{len(lead._y_raw)}"
+            )
+        self._adopt_structure(lead)
+        self._L = lead._L
+        self._jitter = lead._jitter
+        self._y_raw = y.copy()
+        self._restandardize()
+        self._invalidate_pool_cache()
+        self.last_update_fallback = False
+        return self
+
+    def adopt_update(
+        self,
+        lead: "IncrementalGPMixin",
+        X_new: np.ndarray,
+        y_new: np.ndarray,
+    ) -> "IncrementalGPMixin":
+        """Absorb new observations by adopting a lead model's update.
+
+        The border-extended factor and the extended pool caches depend
+        only on the (shared) covariance, never on ``y`` — alias them
+        from ``lead`` and redo just the per-model bookkeeping: append
+        the data, refresh standardization and ``alpha``.  Only valid
+        right after a *successful* ``lead.update`` with an identical
+        covariance signature.
+
+        Args:
+            lead: The model whose ``update`` just absorbed ``X_new``.
+            X_new: ``(k, d)`` new target inputs (same rows the lead
+                absorbed).
+            y_new: Length-``k`` new observations for *this* metric.
+
+        Returns:
+            ``self``.
+
+        Raises:
+            RuntimeError: If called before ``fit``.
+        """
+        if not self.is_fitted:  # type: ignore[attr-defined]
+            raise RuntimeError("adopt_update() before fit()")
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        self.last_update_fallback = bool(lead.last_update_fallback)
+        if len(y_new) == 0:
+            return self
+        self._append_data(X_new, y_new)
+        self._L = lead._L
+        self._jitter = lead._jitter
+        self._restandardize()
+        self._pool_K = lead._pool_K
+        self._pool_V = lead._pool_V
+        return self
 
     # ---- incremental update ------------------------------------------
 
@@ -141,12 +252,34 @@ class IncrementalGPMixin:
         self._restandardize()
         if self._pool_K is not None and self._pool_V is not None:
             rows = slice(n_old, n_old + k)
-            Kp_new = self._cross_cov(self._pool_X, rows)  # (p, k)
             C = L_ext[n_old:, :n_old]
             L22 = L_ext[n_old:, n_old:]
-            V_new = solve_triangular(
-                L22, Kp_new.T - C @ self._pool_V, lower=True
-            )
+            p = len(self._pool_X)
+            block = self._pool_block
+            if not block or p <= block:
+                Kp_new = self._cross_cov(self._pool_X, rows)  # (p, k)
+                V_new = solve_triangular(
+                    L22, Kp_new.T - C @ self._pool_V, lower=True
+                )
+            else:
+                # Large pools: extend the caches block-by-block so the
+                # kernel's (pool, new, dim) broadcast intermediate and
+                # any float32→float64 promotion stay block-sized.
+                Kp_new = np.empty((p, k))
+                V_new = np.empty((k, p))
+                for s in range(0, p, block):
+                    e = min(s + block, p)
+                    Kb = self._cross_cov(self._pool_X[s:e], rows)
+                    Kp_new[s:e] = Kb
+                    Vb = np.asarray(
+                        self._pool_V[:, s:e], dtype=np.float64
+                    )
+                    V_new[:, s:e] = solve_triangular(
+                        L22, Kb.T - C @ Vb, lower=True
+                    )
+            if self._pool_dtype is not None:
+                Kp_new = Kp_new.astype(self._pool_dtype)
+                V_new = V_new.astype(self._pool_dtype)
             self._pool_K = np.hstack([self._pool_K, Kp_new])
             self._pool_V = np.vstack([self._pool_V, V_new])
         return self
@@ -169,19 +302,62 @@ class IncrementalGPMixin:
 
     # ---- cached pool prediction --------------------------------------
 
-    def register_pool(self, X_pool: np.ndarray) -> None:
+    def register_pool(
+        self,
+        X_pool: np.ndarray,
+        block: int = 0,
+        dtype: type | None = None,
+    ) -> None:
         """Attach a fixed candidate pool for cached prediction.
 
         Args:
             X_pool: ``(p, d)`` target-task candidate features; rows are
                 addressed by index in :meth:`predict_pool`.
+            block: Row-chunk size for building/extending the caches;
+                pools at or below the block (or ``block=0``) use the
+                exact single-shot path.
+            dtype: Optional storage dtype for the caches (e.g.
+                ``np.float32``); all solves stay float64, only the
+                stored blocks are narrowed.
         """
         self._pool_X = np.atleast_2d(np.asarray(X_pool, dtype=float))
+        self._pool_block = int(block)
+        self._pool_dtype = dtype
         self._invalidate_pool_cache()
 
     def _invalidate_pool_cache(self) -> None:
         self._pool_K = None
         self._pool_V = None
+
+    def _ensure_pool_cache(self) -> None:
+        """Materialize the pool cross-covariance / whitened caches."""
+        if self._pool_K is not None and self._pool_V is not None:
+            return
+        assert self._pool_X is not None and self._L is not None
+        p = len(self._pool_X)
+        block = self._pool_block
+        if not block or p <= block:
+            # The exact single-shot path (bit-identical to the
+            # pre-blocking behavior for every small pool).
+            K = self._cross_cov(self._pool_X)
+            V = solve_triangular(self._L, K.T, lower=True)
+            if self._pool_dtype is not None:
+                K = K.astype(self._pool_dtype)
+                V = V.astype(self._pool_dtype)
+        else:
+            n = len(self._L)
+            dtype = self._pool_dtype or np.float64
+            K = np.empty((p, n), dtype=dtype)
+            V = np.empty((n, p), dtype=dtype)
+            for s in range(0, p, block):
+                e = min(s + block, p)
+                Kb = self._cross_cov(self._pool_X[s:e])
+                K[s:e] = Kb
+                V[:, s:e] = solve_triangular(
+                    self._L, Kb.T, lower=True
+                )
+        self._pool_K = K
+        self._pool_V = V
 
     def predict_pool(
         self, indices: np.ndarray, include_noise: bool = False
@@ -211,20 +387,24 @@ class IncrementalGPMixin:
         if self._pool_X is None:
             raise RuntimeError("predict_pool() before register_pool()")
         assert self._L is not None and self._alpha is not None
-        if self._pool_K is None or self._pool_V is None:
-            self._pool_K = self._cross_cov(self._pool_X)
-            self._pool_V = solve_triangular(
-                self._L, self._pool_K.T, lower=True
-            )
+        self._ensure_pool_cache()
         idx = np.asarray(indices)
         if idx.dtype == bool:
             idx = np.nonzero(idx)[0]
         K_rows = self._pool_K[idx]
         V_cols = self._pool_V[:, idx]
-        mean_z = K_rows @ self._alpha
-        var_z = self._prior_diag(self._pool_X[idx]) - np.sum(
-            V_cols * V_cols, axis=0
-        )
+        if V_cols.dtype == np.float64:
+            mean_z = K_rows @ self._alpha
+            var_z = self._prior_diag(self._pool_X[idx]) - np.sum(
+                V_cols * V_cols, axis=0
+            )
+        else:
+            # float32 caches: accumulate the quadratic forms in float64
+            # so the posterior variance stays stable near zero.
+            mean_z = K_rows @ self._alpha
+            var_z = self._prior_diag(self._pool_X[idx]) - np.einsum(
+                "ij,ij->j", V_cols, V_cols, dtype=np.float64
+            )
         var_z = np.maximum(var_z, 1e-12)
         if include_noise:
             var_z = var_z + self._predict_noise()
@@ -234,4 +414,42 @@ class IncrementalGPMixin:
         )
 
 
-__all__ = ["IncrementalGPMixin"]
+def predict_pool_multi(
+    models: list,
+    indices: np.ndarray,
+    include_noise: bool = False,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Pool predictions for models sharing one covariance structure.
+
+    The first model's caches are materialized once and aliased onto the
+    followers — valid only when every model's
+    :meth:`IncrementalGPMixin.covariance_signature` is identical (the
+    calibration engine checks this before enabling sharing).  With
+    equal signatures the aliased arrays hold exactly the values each
+    follower would have computed itself, so results are bit-identical
+    to per-model :meth:`IncrementalGPMixin.predict_pool` calls.
+
+    Args:
+        models: Fitted models; the first is the cache lead.
+        indices: Integer pool indices (or boolean mask).
+        include_noise: Add each model's observation-noise variance.
+
+    Returns:
+        One ``(mean, variance)`` pair per model.
+    """
+    lead = models[0]
+    if not lead.is_fitted:
+        raise RuntimeError("predict_pool_multi() before fit()")
+    if lead._pool_X is None:
+        raise RuntimeError("predict_pool_multi() before register_pool()")
+    lead._ensure_pool_cache()
+    for follower in models[1:]:
+        follower._pool_K = lead._pool_K
+        follower._pool_V = lead._pool_V
+    return [
+        model.predict_pool(indices, include_noise=include_noise)
+        for model in models
+    ]
+
+
+__all__ = ["IncrementalGPMixin", "predict_pool_multi"]

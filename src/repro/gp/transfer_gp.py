@@ -285,6 +285,49 @@ class TransferGP(IncrementalGPMixin):
         ])
         self._y_raw = np.concatenate([self._y_raw, y_new])
 
+    def _cov_params(self) -> tuple:
+        if self.transfer_kernel is not None:
+            kernel_sig = (
+                "built",
+                tuple(
+                    float(v)
+                    for v in np.asarray(self.transfer_kernel.theta).ravel()
+                ),
+            )
+        else:
+            base_sig = (
+                None if self._base_kernel is None
+                else (
+                    type(self._base_kernel).__name__,
+                    tuple(
+                        float(v)
+                        for v in np.asarray(self._base_kernel.theta).ravel()
+                    ),
+                )
+            )
+            kernel_sig = (
+                "unbuilt", base_sig,
+                float(self._init_a), float(self._init_b),
+            )
+        return (
+            kernel_sig,
+            float(self._log_noise_s),
+            float(self._log_noise_t),
+        )
+
+    def _adopt_structure(self, lead: "TransferGP") -> None:
+        assert lead._X is not None
+        if self._base_kernel is None:
+            self._base_kernel = RBFKernel(
+                np.full(lead._X.shape[1], 0.3)
+            )
+        if self.transfer_kernel is None:
+            self.transfer_kernel = TransferKernel(
+                self._base_kernel, self._init_a, self._init_b
+            )
+        self._X = lead._X
+        self._tasks = lead._tasks
+
     def _noise_diag(self, tasks: np.ndarray) -> np.ndarray:
         noise = np.where(
             tasks == SOURCE_TASK, self.noise_source, self.noise_target

@@ -356,6 +356,54 @@ class TestSnapshotResume:
         assert ref.stop_reason == got.stop_reason
         assert ref.history == got.history
 
+    @pytest.mark.fastpath
+    @pytest.mark.parametrize("cut", [3, 11])
+    def test_resume_bit_identical_under_fast_paths(self, cut):
+        """Mid-run resume with every hot-path switch engaged: float32
+        pool caches, blocked cache builds, the shared Cholesky factor
+        (kept active by ``reopt_every=0``) and vectorized decisions.
+        The replayed session must continue bit-identically."""
+        X, Y = random_pool(7)
+        cfg = PPATunerConfig(
+            max_iterations=15, seed=7, reopt_every=0,
+            float32_pool=True, pool_block=16,
+        )
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+
+        session = TuningSession(cfg, X, Y.shape[1])
+        oracle = PoolOracle(Y)
+        told = 0
+        interrupted = False
+        while not session.done and not interrupted:
+            pending = session.ask()
+            if not pending:
+                break
+            for idx in pending:
+                session.tell(
+                    idx,
+                    oracle.evaluate(idx),
+                    n_evaluations=oracle.n_evaluations,
+                )
+                told += 1
+                if told >= cut:
+                    interrupted = True
+                    break
+        snap = self._roundtrip(session.snapshot())
+        del session
+
+        resumed = TuningSession.restore(snap)
+        # The restored engine replays calibration with the fast paths
+        # re-engaged — sharing must be live again, not just configured.
+        got = drive(resumed, oracle)
+        assert resumed.engine.stats.n_shared_updates > 0
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.allclose(ref.pareto_points, got.pareto_points)
+        assert np.array_equal(
+            ref.evaluated_indices, got.evaluated_indices
+        )
+        assert ref.n_evaluations == got.n_evaluations
+        assert ref.history == got.history
+
     def test_snapshot_of_done_session(self):
         X, Y = random_pool(3)
         cfg = PPATunerConfig(max_iterations=15, seed=3)
