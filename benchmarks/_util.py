@@ -20,7 +20,9 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 from repro.core import PPATunerConfig
 from repro.runner import (
@@ -44,6 +46,26 @@ def scenario_one_scale() -> int | None:
 def bench_workers() -> int:
     """Worker count for bench fan-out (``PPATUNER_WORKERS`` convention)."""
     return runner_workers(None)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Emit the machine-readable CI artifact ``BENCH_<name>.json``.
+
+    Every CI-gated benchmark writes one of these next to its stdout
+    report (speedup, rounds-to-target, wall-clock — whatever the gate
+    measured), and the workflow uploads them so regressions can be
+    charted across runs without scraping logs.  The output directory
+    follows ``PPATUNER_BENCH_JSON_DIR`` (default: the working dir).
+    """
+    out_dir = Path(os.environ.get("PPATUNER_BENCH_JSON_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=float)
+        + "\n"
+    )
+    print(f"bench artifact: {path}")
+    return path
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,244 @@
+"""Batched q-point selection benchmark: q=4 vs the serial loop.
+
+Simulates the paper's parallel tool licenses: the oracle is a
+latency-injected objective function (every fresh evaluation sleeps for a
+fixed tool-runtime), evaluated through
+:class:`~repro.core.oracle.CallableOracle` whose thread pool overlaps the
+sleeps of one batch.  Both arms run the same seeded
+:class:`~repro.core.session.TuningSession`; the q=4 arm selects with the
+fantasy-collapse diversity rule (``select_batch``) and dispatches up to
+four candidates per synchronous round, the q=1 arm is the paper's serial
+Eq. (13) loop.
+
+The gate is the ISSUE's acceptance criterion: at the hyper-volume error
+the *worse* arm ends at, the batched arm must get there in >= 2.5x fewer
+synchronous rounds AND less wall-clock than the serial arm.  Every round
+additionally asserts that the front of the evaluations so far is
+internally non-dominated.
+
+Usage:
+    pytest benchmarks/bench_batch_selection.py        # via pytest-benchmark
+    PYTHONPATH=src python benchmarks/bench_batch_selection.py --smoke
+
+``--smoke`` is the CI tier: a reduced pool and shorter injected latency
+with the same >= 2.5x rounds gate (the ratio is structural — a batch of
+four covers four rounds' worth of evaluations — so it holds at any
+scale; only wall-clock shrinks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import CallableOracle, PPATunerConfig, TuningSession
+from repro.pareto import hypervolume_error, non_dominated_mask, pareto_front
+
+#: Rounds-to-target advantage the batched arm must deliver (ISSUE gate).
+MIN_ROUND_RATIO = 2.5
+
+
+def _make_problem(n_pool: int, d: int, seed: int):
+    """Synthetic bi-objective pool with a curved trade-off front."""
+    rng = np.random.default_rng(seed)
+    X_pool = rng.uniform(size=(n_pool, d))
+
+    def objectives(x: np.ndarray) -> np.ndarray:
+        f1 = float(np.sum((x - 0.3) ** 2))
+        f2 = float(np.sum((x - 0.7) ** 2))
+        return np.array([f1, f2])
+
+    Y_all = np.vstack([objectives(row) for row in X_pool])
+    return X_pool, objectives, pareto_front(Y_all)
+
+
+def run_arm(
+    X_pool: np.ndarray,
+    objectives,
+    golden: np.ndarray,
+    q: int,
+    workers: int,
+    latency_s: float,
+    max_iterations: int,
+    seed: int = 0,
+) -> dict:
+    """Drive one arm to completion, scoring HV error per round.
+
+    A *round* is one synchronous dispatch: the q=1 arm pays one tool
+    latency per candidate, the batched arm overlaps up to ``q`` fresh
+    evaluations on the oracle's thread pool.  Pending candidates beyond
+    ``q`` (initialization, verification) are chunked ``q`` at a time —
+    the license count binds every phase equally.
+    """
+
+    def with_latency(x: np.ndarray) -> np.ndarray:
+        time.sleep(latency_s)
+        return objectives(x)
+
+    cfg = PPATunerConfig(
+        max_iterations=max_iterations, seed=seed, q=q,
+        reopt_every=0, n_restarts=0,
+    )
+    session = TuningSession(cfg, X_pool, 2)
+    oracle = CallableOracle(
+        with_latency, X_pool, 2, workers=workers
+    )
+    seen_rows: list[np.ndarray] = []
+    hv_curve: list[float] = []
+    wall_curve: list[float] = []
+    rounds = 0
+    start = time.perf_counter()
+    while True:
+        pending = session.ask()
+        if not pending:
+            break
+        for k in range(0, len(pending), q):
+            chunk = [int(i) for i in pending[k:k + q]]
+            rows = oracle.evaluate_batch(chunk)
+            n_eval = oracle.n_evaluations
+            for idx, row in zip(chunk, rows):
+                session.tell(idx, row, n_evaluations=n_eval)
+            rounds += 1
+            seen_rows.extend(np.asarray(rows))
+            front = pareto_front(np.vstack(seen_rows))
+            # The running front must be internally non-dominated every
+            # round — batching must never let a dominated point linger.
+            assert non_dominated_mask(front).all(), (
+                f"dominated point in round-{rounds} front (q={q})"
+            )
+            hv_curve.append(float(hypervolume_error(front, golden)))
+            wall_curve.append(time.perf_counter() - start)
+    wall = time.perf_counter() - start
+    result = session.result()
+    front = pareto_front(result.pareto_points)
+    assert non_dominated_mask(front).all()
+    return {
+        "q": q,
+        "rounds": rounds,
+        "wall_s": wall,
+        "n_evaluations": result.n_evaluations,
+        "hv_error": hv_curve[-1] if hv_curve else float("inf"),
+        "hv_curve": hv_curve,
+        "wall_curve": wall_curve,
+        "pareto_indices": [int(i) for i in result.pareto_indices],
+    }
+
+
+def _rounds_to(hv_curve: list[float], target: float) -> int:
+    for i, hv in enumerate(hv_curve):
+        if hv <= target:
+            return i + 1
+    return len(hv_curve)
+
+
+def compare(
+    *, n_pool: int, d: int, q: int, latency_s: float,
+    max_iterations: int, seed: int = 0,
+) -> dict:
+    X_pool, objectives, golden = _make_problem(n_pool, d, seed)
+    serial = run_arm(
+        X_pool, objectives, golden, q=1, workers=1,
+        latency_s=latency_s, max_iterations=max_iterations, seed=seed,
+    )
+    batched = run_arm(
+        X_pool, objectives, golden, q=q, workers=q,
+        latency_s=latency_s, max_iterations=max_iterations, seed=seed,
+    )
+    # Rounds to the HV error the *worse* arm ends at — both arms are
+    # guaranteed to reach it, so the ratio is well-defined.
+    target = max(serial["hv_error"], batched["hv_error"])
+    r_serial = _rounds_to(serial["hv_curve"], target)
+    r_batched = _rounds_to(batched["hv_curve"], target)
+    wall_serial = serial["wall_curve"][r_serial - 1]
+    wall_batched = batched["wall_curve"][r_batched - 1]
+    return {
+        "q": q,
+        "latency_s": latency_s,
+        "target_hv_error": target,
+        "rounds_serial": r_serial,
+        "rounds_batched": r_batched,
+        "round_ratio": r_serial / max(r_batched, 1),
+        "wall_serial_s": wall_serial,
+        "wall_batched_s": wall_batched,
+        "wall_speedup": wall_serial / wall_batched,
+        "wall_total_serial_s": serial["wall_s"],
+        "wall_total_batched_s": batched["wall_s"],
+        "hv_error_serial": serial["hv_error"],
+        "hv_error_batched": batched["hv_error"],
+        "evals_serial": serial["n_evaluations"],
+        "evals_batched": batched["n_evaluations"],
+    }
+
+
+def _report(tag: str, res: dict) -> None:
+    print(f"\n=== Batched selection (q={res['q']}, {tag}) ===")
+    print(f"serial  : {res['rounds_serial']:4d} rounds-to-target, "
+          f"{res['wall_serial_s']:7.2f}s wall-to-target, "
+          f"hv_error={res['hv_error_serial']:.4f} "
+          f"({res['evals_serial']} tool runs, "
+          f"{res['wall_total_serial_s']:.2f}s total)")
+    print(f"batched : {res['rounds_batched']:4d} rounds-to-target, "
+          f"{res['wall_batched_s']:7.2f}s wall-to-target, "
+          f"hv_error={res['hv_error_batched']:.4f} "
+          f"({res['evals_batched']} tool runs, "
+          f"{res['wall_total_batched_s']:.2f}s total)")
+    print(f"rounds-to-target ratio : {res['round_ratio']:.2f}x "
+          f"(target hv_error={res['target_hv_error']:.4f})")
+    print(f"wall-clock speedup     : {res['wall_speedup']:.2f}x")
+
+
+FULL = dict(n_pool=200, d=5, q=4, latency_s=0.04, max_iterations=45)
+SMOKE = dict(n_pool=140, d=4, q=4, latency_s=0.015, max_iterations=30)
+
+
+def test_batched_rounds_and_wall_clock(benchmark):
+    res = benchmark.pedantic(
+        lambda: compare(**FULL), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _report("full", res)
+    assert res["round_ratio"] >= MIN_ROUND_RATIO
+    assert res["wall_batched_s"] < res["wall_serial_s"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced pool/latency for CI (same >= 2.5x rounds gate)",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=MIN_ROUND_RATIO,
+        help="override the required rounds-to-target ratio",
+    )
+    args = parser.parse_args()
+    from _util import write_bench_json
+
+    params = SMOKE if args.smoke else FULL
+    res = compare(**params)
+    _report("smoke" if args.smoke else "full", res)
+    passed = (
+        res["round_ratio"] >= args.min_ratio
+        and res["wall_batched_s"] < res["wall_serial_s"]
+    )
+    write_bench_json(
+        "batch_selection",
+        {"gate": args.min_ratio, "passed": passed, **res},
+    )
+    if res["round_ratio"] < args.min_ratio:
+        print(f"FAIL: rounds ratio {res['round_ratio']:.2f}x < "
+              f"required {args.min_ratio}x")
+        return 1
+    if res["wall_batched_s"] >= res["wall_serial_s"]:
+        print(f"FAIL: batched wall {res['wall_batched_s']:.2f}s not "
+              f"below serial {res['wall_serial_s']:.2f}s")
+        return 1
+    print(f"OK: {res['round_ratio']:.2f}x fewer rounds, "
+          f"{res['wall_speedup']:.2f}x wall-clock, non-dominance held "
+          "every round")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

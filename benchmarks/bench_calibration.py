@@ -182,12 +182,19 @@ def main() -> int:
         help="override the required speedup factor of the standard tier",
     )
     args = parser.parse_args()
+    from _util import write_bench_json
+
     params = SMOKE if args.smoke else FULL
     gate = args.min_speedup if args.min_speedup is not None else (
         1.5 if args.smoke else 3.0
     )
     res = compare(**params)
     _report("smoke" if args.smoke else f"pool={params['n_pool']}", res)
+    artifact = {
+        "gate": gate,
+        "standard": res,
+        "passed": True,
+    }
     failed = False
     if res["speedup"] < gate:
         print(f"FAIL: speedup {res['speedup']:.2f}x < required {gate}x")
@@ -198,12 +205,15 @@ def main() -> int:
     if args.large_pool:
         res = compare(**LARGE, fast_extra=LARGE_FAST, **LARGE_EXTRA)
         _report("pool=50k", res)
+        artifact["large_pool"] = res
         if res["speedup"] < 3.0:
             print(f"FAIL: large-pool speedup {res['speedup']:.2f}x < 3x")
             failed = True
         else:
             print(f"OK: large-pool speedup {res['speedup']:.2f}x >= 3x, "
                   "trajectories identical")
+    artifact["passed"] = not failed
+    write_bench_json("calibration", artifact)
     return 1 if failed else 0
 
 

@@ -151,10 +151,16 @@ def main() -> int:
         help="override the overhead gate (fraction, default 0.05)",
     )
     args = parser.parse_args()
+    from _util import write_bench_json
+
     params = SMOKE if args.smoke else FULL
     res = compare(**params)
     _report("smoke" if args.smoke else "full", res)
-    if res["overhead"] > args.max_overhead:
+    passed = res["overhead"] <= args.max_overhead
+    write_bench_json(
+        "obs", {"gate": args.max_overhead, "passed": passed, **res}
+    )
+    if not passed:
         print(f"FAIL: tracing overhead {res['overhead'] * 100:.2f}% > "
               f"{args.max_overhead * 100:.0f}%")
         return 1

@@ -252,16 +252,26 @@ def main() -> int:
         help="override the overhead gate (fraction, default 0.05)",
     )
     args = parser.parse_args()
+    from _util import write_bench_json
+
     if args.chaos:
         res = chaos_check()
         print(f"chaos: {res['cells']} cell(s) identical under "
               f"{res['planned']} planned / {res['fired']} fired faults")
+        write_bench_json(
+            "reliability_chaos", {"passed": True, **res}
+        )
         print("PASS")
         return 0
     params = SMOKE if args.smoke else FULL
     res = compare(**params)
     _report("smoke" if args.smoke else "full", res)
-    if res["overhead"] > args.max_overhead:
+    passed = res["overhead"] <= args.max_overhead
+    write_bench_json(
+        "reliability",
+        {"gate": args.max_overhead, "passed": passed, **res},
+    )
+    if not passed:
         print(f"FAIL: resilience overhead {res['overhead'] * 100:.2f}% > "
               f"{args.max_overhead * 100:.0f}%")
         return 1

@@ -150,10 +150,18 @@ def main() -> int:
         help="override the core-scaled speedup gate",
     )
     args = parser.parse_args()
+    from _util import write_bench_json
+
     params = SMOKE if args.smoke else FULL
     gate = speedup_gate(args.min_speedup)
     res = compare(**params)
     _report("smoke" if args.smoke else "full", res)
+    passed = (
+        res["speedup"] >= gate and res["t_resume"] < res["t_serial"] / 3
+    )
+    write_bench_json(
+        "runner", {"gate": gate, "passed": passed, **res}
+    )
     if res["speedup"] < gate:
         print(f"FAIL: speedup {res['speedup']:.2f}x < required "
               f"{gate}x ({res['workers']} workers)")

@@ -213,14 +213,21 @@ def main() -> int:
         help="reduced pool for CI (same identity contracts)",
     )
     args = parser.parse_args()
+    from _util import write_bench_json
+
     params = SMOKE if args.smoke else FULL
 
-    res = remote_identity(**params)
-    print(f"remote identity OK: {res['n_evaluations']} evaluations, "
-          f"front of {res['front']}, bit-identical to in-process")
-    res = restart_survival(**params)
-    print(f"restart survival OK: SIGKILL after {res['cut']} tells, "
+    identity = remote_identity(**params)
+    print(f"remote identity OK: {identity['n_evaluations']} evaluations, "
+          f"front of {identity['front']}, bit-identical to in-process")
+    survival = restart_survival(**params)
+    print(f"restart survival OK: SIGKILL after {survival['cut']} tells, "
           f"recovered and finished bit-identically")
+    write_bench_json("service", {
+        "passed": True,
+        "identity": identity,
+        "restart": survival,
+    })
     print("PASS")
     return 0
 

@@ -85,7 +85,27 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     target = generate_benchmark(args.target)
     if args.scale:
         target = target.subsample(args.scale, seed=args.seed)
-    oracle = PoolOracle(target.objectives(names))
+    if args.pool_refine_every > 0:
+        # Refined candidates are new configurations with no row in the
+        # cached table — evaluate through the live flow instead.
+        from .bench.generate import DESIGN_BASE_PARAMS, get_flow
+        from .core import CallableOracle
+        from .pdtool.params import ToolParameters
+
+        flow = get_flow(target.design)
+        base = dict(DESIGN_BASE_PARAMS[target.design])
+        space = target.space
+
+        def _run_flow(x: np.ndarray) -> np.ndarray:
+            merged = {**base, **dict(space.decode(x))}
+            report = flow.run(ToolParameters.from_dict(merged))
+            return np.asarray(report.objectives(names))
+
+        oracle = CallableOracle(
+            _run_flow, target.X, len(names), workers=max(1, args.q)
+        )
+    else:
+        oracle = PoolOracle(target.objectives(names))
 
     kwargs = {}
     if args.source:
@@ -105,6 +125,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     policy = _fault_policy_from_args(args)
     config = PPATunerConfig(
         max_iterations=args.max_iterations, seed=args.seed,
+        q=args.q, pool_refine_every=args.pool_refine_every,
     )
     if policy is not None:
         import dataclasses
@@ -378,6 +399,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-source", type=int, default=200)
     p.add_argument("--max-iterations", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--q", type=int, default=1,
+                   help="evaluations per synchronous round (parallel "
+                        "tool licenses); 1 keeps the paper's serial "
+                        "loop")
+    p.add_argument("--pool-refine-every", type=int, default=0,
+                   metavar="N",
+                   help="every N iterations, zoom new LHS candidates "
+                        "around the live uncertainty rectangles "
+                        "(0 disables; re-runs the flow for refined "
+                        "points instead of the cached table)")
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="record the run's event stream to a JSONL file")
     p.add_argument("--max-retries", type=int, default=None,

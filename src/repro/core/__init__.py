@@ -3,9 +3,9 @@
 from .calibration import CalibrationEngine, CalibrationStats
 from .config import PPATunerConfig
 from .decision import apply_decision_rules
-from .oracle import FlowOracle, Oracle, PoolOracle
+from .oracle import CallableOracle, FlowOracle, Oracle, PoolOracle
 from .result import IterationRecord, TuningResult
-from .selection import select_next, select_with_fallback
+from .selection import select_batch, select_next, select_with_fallback
 from .session import EvaluationFailure, TuningSession, drive
 from .tuner import PPATuner
 from .uncertainty import UncertaintyRegions, prediction_rectangle
@@ -13,6 +13,7 @@ from .uncertainty import UncertaintyRegions, prediction_rectangle
 __all__ = [
     "CalibrationEngine",
     "CalibrationStats",
+    "CallableOracle",
     "EvaluationFailure",
     "FlowOracle",
     "IterationRecord",
@@ -26,6 +27,7 @@ __all__ = [
     "apply_decision_rules",
     "drive",
     "prediction_rectangle",
+    "select_batch",
     "select_next",
     "select_with_fallback",
 ]

@@ -135,6 +135,30 @@ class CalibrationEngine:
                 X_pool, block=cfg.pool_block, dtype=dtype
             )
 
+    def extend_pool(self, X_new: np.ndarray) -> None:
+        """Append refined candidates to every model's pool (append path).
+
+        Adaptive pool refinement grows the candidate table mid-run; the
+        prediction caches are extended by the new rows only — never
+        rebuilt (see :meth:`~repro.gp.incremental.IncrementalGPMixin.extend_pool`).
+        Under an active shared factor the appended cache blocks are
+        computed once on the lead model and adopted by the followers
+        (identical signatures produce identical blocks).
+        """
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        if X_new.size == 0:
+            return
+        if self._shared_active and self._sharing_possible():
+            lead = self.models[0]
+            lead.extend_pool(X_new)
+            for model in self.models[1:]:
+                model.extend_pool(X_new, cache=False)
+                model._pool_K = lead._pool_K
+                model._pool_V = lead._pool_V
+        else:
+            for model in self.models:
+                model.extend_pool(X_new)
+
     def _sharing_possible(self) -> bool:
         """Whether one Cholesky factorization can serve every model.
 

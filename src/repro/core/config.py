@@ -22,6 +22,30 @@ class PPATunerConfig:
             objectives.
         batch_size: Configurations sent to the tool per iteration (the
             paper's parallel-license batch trials).
+        q: Candidates proposed per synchronous round by the *batched*
+            selection rule.  ``q=1`` (default) is the paper's serial
+            Eq. (13) rule and is bit-identical to the pre-batching
+            trajectory.  ``q>1`` switches to greedy max-diameter
+            selection with fantasy collapse and a pairwise distance
+            penalty (see :func:`~repro.core.selection.select_batch`) so
+            one batch spreads across the live front instead of
+            clustering, and ``ask()`` hands back up to ``q`` pending
+            indices to evaluate concurrently.
+        q_penalty: Strength of the batch diversity penalty; candidate
+            scores are damped by ``1 - exp(-dist / (q_penalty * scale))``
+            against already-chosen batch members.  Larger values push
+            picks further apart.  Ignored when ``q=1``.
+        pool_refine_every: Adaptive candidate-pool refinement cadence:
+            every this many loop iterations, spawn fresh LHS points
+            zoomed around the surviving (live, non-collapsed)
+            uncertainty rectangles and append them to the candidate
+            pool (incremental cache append — no rebuild).  ``0``
+            (default) disables refinement; the pool stays the fixed
+            offline table.
+        pool_refine_points: New candidates appended per refinement
+            round.
+        pool_zoom: Half-width of each zoom box, as a fraction of the
+            parameter-space span, centred on a live anchor candidate.
         max_iterations: ``T_max``.
         kernel: Base kernel family (``"rbf"`` or ``"matern52"``).
         refit_every: Re-optimize GP hyperparameters every this many
@@ -90,6 +114,11 @@ class PPATunerConfig:
     tau: float = 16.0
     delta_rel: float | np.ndarray = 0.01
     batch_size: int = 1
+    q: int = 1
+    q_penalty: float = 1.0
+    pool_refine_every: int = 0
+    pool_refine_points: int = 16
+    pool_zoom: float = 0.1
     max_iterations: int = 500
     kernel: str = "rbf"
     refit_every: int = 10
@@ -117,6 +146,16 @@ class PPATunerConfig:
             raise ValueError("delta_rel must be non-negative")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.q < 1:
+            raise ValueError("q must be >= 1")
+        if self.q_penalty <= 0:
+            raise ValueError("q_penalty must be positive")
+        if self.pool_refine_every < 0:
+            raise ValueError("pool_refine_every must be >= 0 (0 = off)")
+        if self.pool_refine_points < 1:
+            raise ValueError("pool_refine_points must be >= 1")
+        if not 0.0 < self.pool_zoom <= 1.0:
+            raise ValueError("pool_zoom must be in (0, 1]")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         if not 0.0 < self.init_fraction <= 1.0:
@@ -159,6 +198,11 @@ class PPATunerConfig:
             "tau": float(self.tau),
             "delta_rel": delta,
             "batch_size": int(self.batch_size),
+            "q": int(self.q),
+            "q_penalty": float(self.q_penalty),
+            "pool_refine_every": int(self.pool_refine_every),
+            "pool_refine_points": int(self.pool_refine_points),
+            "pool_zoom": float(self.pool_zoom),
             "max_iterations": int(self.max_iterations),
             "kernel": self.kernel,
             "refit_every": int(self.refit_every),

@@ -28,7 +28,8 @@ null recorder makes the disabled path one truthiness check.
 from __future__ import annotations
 
 import time
-from typing import Protocol, runtime_checkable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -38,7 +39,7 @@ from ..pdtool.flow import PDFlow
 from ..pdtool.params import ToolParameters
 from ..space.space import Configuration
 
-__all__ = ["FlowOracle", "Oracle", "PoolOracle"]
+__all__ = ["CallableOracle", "FlowOracle", "Oracle", "PoolOracle"]
 
 
 @runtime_checkable
@@ -141,21 +142,46 @@ class PoolOracle:
 
     def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`evaluate`; rows follow ``indices`` order."""
-        return np.vstack([self.evaluate(int(i)) for i in indices])
+        indices = [int(i) for i in indices]
+        if not indices:
+            return np.empty((0, self.n_objectives))
+        return np.vstack([self.evaluate(i) for i in indices])
 
     def reset(self) -> None:
         """Forget the evaluation count (fresh tuning run)."""
         self._evaluated.clear()
 
 
+def _flow_eval_task(
+    flow: PDFlow, config: ToolParameters, names: tuple[str, ...]
+) -> tuple[np.ndarray, float]:
+    """Worker-side single flow run (module level so it pickles).
+
+    Returns:
+        ``(values, seconds)`` — the extracted QoR vector and the
+        worker-measured wall time of the run.
+    """
+    start = time.perf_counter()
+    report = flow.run(config)
+    values = np.array(report.objectives(names))
+    return values, time.perf_counter() - start
+
+
 class FlowOracle:
     """Oracle that invokes the simulated PD flow on demand.
+
+    With ``workers > 1``, :meth:`evaluate_batch` fans the uncached
+    configurations of a batch out over a process pool — the paper's
+    parallel tool licenses.  The flow is deterministic per
+    configuration, so pool results are bit-identical to serial runs;
+    only wall-clock changes.
 
     Attributes:
         flow: The tool instance.
         configs: Pool of tool configurations, by index.
         objective_names: QoR metrics to extract from each report.
         recorder: Trace recorder fed one ``ToolEvaluation`` per call.
+        workers: Parallel licenses for :meth:`evaluate_batch`.
     """
 
     def __init__(
@@ -164,6 +190,9 @@ class FlowOracle:
         configs: list[ToolParameters] | list[Configuration],
         objective_names: tuple[str, ...] = ("power", "delay"),
         recorder=None,
+        workers: int = 1,
+        decoder: Callable[[np.ndarray], ToolParameters | Configuration]
+        | None = None,
     ) -> None:
         """Create the oracle.
 
@@ -173,9 +202,16 @@ class FlowOracle:
                 plain dicts of tool-parameter fields).
             objective_names: Report fields to minimize.
             recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`.
+            workers: Process-pool width for batch evaluation; 1 keeps
+                the serial path.
+            decoder: Optional ``(pool row) -> configuration`` mapping
+                enabling :meth:`extend` — required when the tuning
+                session refines its candidate pool mid-run.
         """
         if not configs:
             raise ValueError("empty configuration pool")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.flow = flow
         self.configs = [
             c if isinstance(c, ToolParameters)
@@ -185,6 +221,8 @@ class FlowOracle:
         self.objective_names = tuple(objective_names)
         self._cache: dict[int, np.ndarray] = {}
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.workers = int(workers)
+        self._decoder = decoder
 
     @property
     def n_candidates(self) -> int:
@@ -224,9 +262,87 @@ class FlowOracle:
             ))
         return value
 
+    @property
+    def supports_parallel_batch(self) -> bool:
+        """Whether :meth:`evaluate_batch` runs batch members concurrently."""
+        return self.workers > 1
+
     def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`evaluate`; rows follow ``indices`` order."""
-        return np.vstack([self.evaluate(int(i)) for i in indices])
+        """Vectorized :meth:`evaluate`; rows follow ``indices`` order.
+
+        With ``workers > 1`` the distinct uncached indices of the batch
+        run concurrently on a process pool (duplicates are evaluated
+        once and served from cache).  Trace events are emitted in
+        ``indices`` order either way, with the same cached-flag
+        semantics the serial path produces.
+        """
+        indices = [int(i) for i in indices]
+        if not indices:
+            return np.empty((0, self.n_objectives))
+        if self.workers > 1:
+            fresh: list[int] = []
+            for i in indices:
+                if i not in self._cache and i not in fresh:
+                    if not 0 <= i < self.n_candidates:
+                        raise IndexError(f"candidate {i} out of range")
+                    fresh.append(i)
+            if len(fresh) > 1:
+                seconds: dict[int, float] = {}
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(fresh))
+                ) as pool:
+                    futures = {
+                        i: pool.submit(
+                            _flow_eval_task, self.flow,
+                            self.configs[i], self.objective_names,
+                        )
+                        for i in fresh
+                    }
+                    for i, fut in futures.items():
+                        values, secs = fut.result()
+                        self._cache[i] = values
+                        seconds[i] = secs
+                        # Worker processes advance their own copies of
+                        # the flow; mirror the run count here so the
+                        # paper's cost unit stays honest.
+                        self.flow._run_count += 1
+                if self.recorder:
+                    seen: set[int] = set()
+                    for i in indices:
+                        hot = i in seconds and i not in seen
+                        seen.add(i)
+                        self.recorder.emit(ToolEvaluation(
+                            index=i,
+                            seconds=seconds[i] if hot else 0.0,
+                            cached=not hot,
+                            oracle="flow",
+                            values=[float(v) for v in self._cache[i]],
+                        ))
+                return np.vstack([self._cache[i].copy() for i in indices])
+        return np.vstack([self.evaluate(i) for i in indices])
+
+    def extend(self, X_new: np.ndarray) -> None:
+        """Append decoded pool rows as new candidate configurations.
+
+        Args:
+            X_new: ``(k, d)`` normalized feature rows (the tuning
+                session's pool representation).
+
+        Raises:
+            RuntimeError: If the oracle was built without a ``decoder``.
+        """
+        if self._decoder is None:
+            raise RuntimeError(
+                "FlowOracle cannot extend its pool without a decoder; "
+                "pass decoder= at construction or disable pool "
+                "refinement (pool_refine_every=0)"
+            )
+        for row in np.atleast_2d(np.asarray(X_new, dtype=float)):
+            c = self._decoder(row)
+            self.configs.append(
+                c if isinstance(c, ToolParameters)
+                else ToolParameters.from_dict(dict(c))
+            )
 
     def reset(self) -> None:
         """Drop the run cache and evaluation count (fresh tuning run).
@@ -234,4 +350,165 @@ class FlowOracle:
         Subsequent evaluations invoke the flow again — the simulated
         tool is deterministic, but a reset run pays its runtime anew.
         """
+        self._cache.clear()
+
+
+class CallableOracle:
+    """Oracle over a plain function of the pool's feature rows.
+
+    Evaluating candidate ``i`` calls ``func(X[i])`` and expects the QoR
+    vector back.  Batches run on a thread pool when ``workers > 1`` —
+    the natural fit for functions that sleep (latency models in the
+    batching benchmarks) or release the GIL.  The pool is extendable,
+    so refined candidates need no decoder: new rows simply join ``X``.
+
+    Attributes:
+        func: ``(x,) -> (m,)`` objective function (minimization).
+        X: ``(n, d)`` candidate feature matrix.
+        recorder: Trace recorder fed one ``ToolEvaluation`` per call.
+        workers: Thread-pool width for batch evaluation.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[np.ndarray], np.ndarray],
+        X: np.ndarray,
+        n_objectives: int,
+        recorder=None,
+        workers: int = 1,
+    ) -> None:
+        """Wrap ``func`` over the candidate rows of ``X``.
+
+        Args:
+            func: Objective function; must be thread-safe when
+                ``workers > 1``.
+            X: ``(n, d)`` candidate matrix.
+            n_objectives: Length of the vectors ``func`` returns.
+            recorder: Optional :class:`~repro.obs.recorder.TraceRecorder`.
+            workers: Parallel evaluations per batch; 1 keeps the
+                serial path.
+        """
+        self.X = np.atleast_2d(np.asarray(X, dtype=float)).copy()
+        if self.X.size == 0:
+            raise ValueError("empty candidate matrix")
+        if n_objectives < 1:
+            raise ValueError("n_objectives must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.func = func
+        self._n_objectives = int(n_objectives)
+        self._cache: dict[int, np.ndarray] = {}
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.workers = int(workers)
+
+    @property
+    def n_candidates(self) -> int:
+        """Pool size."""
+        return self.X.shape[0]
+
+    @property
+    def n_objectives(self) -> int:
+        """Number of QoR metrics."""
+        return self._n_objectives
+
+    @property
+    def n_evaluations(self) -> int:
+        """Distinct function calls so far (the paper's 'Runs')."""
+        return len(self._cache)
+
+    @property
+    def supports_parallel_batch(self) -> bool:
+        """Whether :meth:`evaluate_batch` runs batch members concurrently."""
+        return self.workers > 1
+
+    def evaluate(self, index: int) -> np.ndarray:
+        """QoR vector of pool candidate ``index`` (cached)."""
+        if not 0 <= index < self.n_candidates:
+            raise IndexError(f"candidate {index} out of range")
+        index = int(index)
+        start = time.perf_counter()
+        cached = index in self._cache
+        if not cached:
+            row = np.asarray(self.func(self.X[index]), dtype=float).ravel()
+            if row.shape != (self._n_objectives,):
+                raise ValueError(
+                    f"func returned shape {row.shape}, expected "
+                    f"({self._n_objectives},)"
+                )
+            self._cache[index] = row
+        value = self._cache[index].copy()
+        if self.recorder:
+            self.recorder.emit(ToolEvaluation(
+                index=index,
+                seconds=time.perf_counter() - start,
+                cached=cached,
+                oracle="callable",
+                values=[float(v) for v in value],
+            ))
+        return value
+
+    def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate`; rows follow ``indices`` order.
+
+        With ``workers > 1`` the distinct uncached indices run
+        concurrently on a thread pool; duplicates are evaluated once.
+        """
+        indices = [int(i) for i in indices]
+        if not indices:
+            return np.empty((0, self.n_objectives))
+        if self.workers > 1:
+            fresh = []
+            for i in indices:
+                if i not in self._cache and i not in fresh:
+                    if not 0 <= i < self.n_candidates:
+                        raise IndexError(f"candidate {i} out of range")
+                    fresh.append(i)
+            if len(fresh) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(fresh))
+                ) as pool:
+                    rows = list(pool.map(
+                        lambda i: np.asarray(
+                            self.func(self.X[i]), dtype=float
+                        ).ravel(),
+                        fresh,
+                    ))
+                for i, row in zip(fresh, rows):
+                    if row.shape != (self._n_objectives,):
+                        raise ValueError(
+                            f"func returned shape {row.shape}, expected "
+                            f"({self._n_objectives},)"
+                        )
+                    self._cache[i] = row
+                if self.recorder:
+                    seen: set[int] = set()
+                    for i in indices:
+                        hot = i in fresh and i not in seen
+                        seen.add(i)
+                        self.recorder.emit(ToolEvaluation(
+                            index=i,
+                            seconds=0.0,
+                            cached=not hot,
+                            oracle="callable",
+                            values=[float(v) for v in self._cache[i]],
+                        ))
+                return np.vstack([self._cache[i].copy() for i in indices])
+        return np.vstack([self.evaluate(i) for i in indices])
+
+    def extend(self, X_new: np.ndarray) -> None:
+        """Append new candidate rows to the pool.
+
+        Args:
+            X_new: ``(k, d)`` feature rows matching ``X``'s width.
+        """
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        if X_new.shape[1] != self.X.shape[1]:
+            raise ValueError(
+                f"row width {X_new.shape[1]} != pool width "
+                f"{self.X.shape[1]}"
+            )
+        self.X = np.vstack([self.X, X_new])
+
+    def reset(self) -> None:
+        """Forget the evaluation count (fresh tuning run)."""
         self._cache.clear()

@@ -1,10 +1,18 @@
-"""Selection rule (paper Eq. (13)).
+"""Selection rule (paper Eq. (13)) and its batched q-point extension.
 
 The next configuration sent to the PD tool is the live (undecided or
 predicted-Pareto), not-yet-evaluated candidate whose uncertainty region has
 the longest diameter — sampling where a single tool run shrinks belief the
 most.  Batch mode takes the top-k diameters (the paper's parallel-license
 trials).
+
+:func:`select_batch` generalizes the rule to q *diverse* picks per
+synchronous round: after each greedy max-diameter pick the chosen
+rectangle is hallucinated ("fantasy") collapsed to its posterior mean —
+the centre of ``mu ± sqrt(tau) sigma`` is exactly ``mu`` — and the
+remaining candidates' scores are damped by a pairwise distance penalty
+against the already-chosen batch, so one batch spreads across the live
+front instead of re-sampling the same region q times.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..obs.events import SelectionMade
+from ..obs.events import BatchSelected, SelectionMade
 from .uncertainty import UncertaintyRegions
 
 
@@ -60,6 +68,109 @@ def select_next(
     return chosen
 
 
+def select_batch(
+    regions: UncertaintyRegions,
+    eligible: np.ndarray,
+    q: int,
+    recorder=None,
+    iteration: int = 0,
+    penalty: float = 1.0,
+) -> np.ndarray:
+    """Greedy q-point selection with fantasy collapse (batched Eq. (13)).
+
+    The first pick is the plain Eq. (13) argmax — identical to
+    :func:`select_next` with ``batch_size=1``.  Each chosen rectangle is
+    then collapsed (on a scratch copy — the caller's regions are never
+    mutated) to its midpoint, the GP posterior mean, and every remaining
+    candidate's diameter is multiplied by ``1 - exp(-d / (penalty *
+    scale))`` per already-chosen batch member, where ``d`` is the
+    QoR-space distance between rectangle centres and ``scale`` is the
+    chosen member's pre-collapse diameter.  A candidate sitting on top
+    of a pending pick scores ~0; a candidate one diameter away is barely
+    penalized.  Unbounded (never-predicted) rectangles have no finite
+    centre, take no penalty, and keep their infinite score — they are
+    prioritized exactly as in the serial rule.
+
+    Emits one aggregate :class:`SelectionMade` (same shape a serial
+    top-q pick would produce, so serial trace consumers keep working)
+    plus one :class:`BatchSelected` carrying the greedy order and the
+    penalized scores.
+
+    Args:
+        regions: Current uncertainty boxes (read-only here).
+        eligible: Mask of candidates that may be selected.
+        q: Batch size (picks per synchronous round).
+        recorder: Optional trace recorder.
+        iteration: Loop iteration tag for emitted events.
+        penalty: Diversity-penalty length scale multiplier
+            (``PPATunerConfig.q_penalty``).
+
+    Returns:
+        Up to ``q`` candidate indices in greedy pick order (empty if
+        nothing is eligible).
+    """
+    eligible = np.asarray(eligible, dtype=bool)
+    ids = np.nonzero(eligible)[0]
+    if len(ids) == 0 or q < 1:
+        chosen = np.empty(0, dtype=int)
+        scores_out: list[float] = []
+    else:
+        lo = regions.lo[ids]
+        hi = regions.hi[ids]
+        true_diam = regions.diameters()[ids]
+        with np.errstate(invalid="ignore"):
+            # -inf + inf = nan for unbounded rectangles; they are
+            # filtered by finite_center and never take a penalty.
+            centers = 0.5 * (lo + hi)
+        finite_center = np.all(np.isfinite(centers), axis=1)
+        score = true_diam.astype(float).copy()
+        alive = np.ones(len(ids), dtype=bool)
+        picks: list[int] = []
+        scores_out = []
+        tiny = 1e-12
+        for _ in range(min(q, len(ids))):
+            masked = np.where(alive, score, -np.inf)
+            # Stable argmax: ties break toward the lowest pool index,
+            # matching select_next's stable argsort.
+            best = int(np.argmax(masked))
+            if not np.isfinite(masked[best]) and masked[best] < 0:
+                break  # every remaining score is -inf (nothing alive)
+            picks.append(best)
+            scores_out.append(float(masked[best]))
+            alive[best] = False
+            if not alive.any():
+                break
+            # Fantasy collapse: the pick's rectangle shrinks to its
+            # centre; neighbours of the (hallucinated) observation are
+            # damped so the batch spreads out.
+            if finite_center[best]:
+                scale = true_diam[best]
+                if not np.isfinite(scale) or scale <= 0.0:
+                    scale = tiny
+                others = alive & finite_center
+                if others.any():
+                    dist = np.linalg.norm(
+                        centers[others] - centers[best], axis=1
+                    )
+                    factor = -np.expm1(-dist / (penalty * scale))
+                    score[others] = score[others] * factor
+        chosen = ids[np.asarray(picks, dtype=int)]
+    if recorder:
+        all_diam = regions.diameters()
+        recorder.emit(SelectionMade(
+            iteration=iteration,
+            selected=[int(i) for i in chosen],
+            diameters=[float(all_diam[int(i)]) for i in chosen],
+        ))
+        recorder.emit(BatchSelected(
+            iteration=iteration,
+            selected=[int(i) for i in chosen],
+            diameters=[float(all_diam[int(i)]) for i in chosen],
+            scores=scores_out,
+        ))
+    return chosen
+
+
 def select_with_fallback(
     regions: UncertaintyRegions,
     eligible: np.ndarray,
@@ -67,6 +178,7 @@ def select_with_fallback(
     try_evaluate: Callable[[int], bool],
     recorder=None,
     iteration: int = 0,
+    quarantined: np.ndarray | None = None,
 ) -> tuple[list[int], list[int]]:
     """Eq. (13) selection with fallback past failed evaluations.
 
@@ -89,6 +201,11 @@ def select_with_fallback(
         recorder: Optional trace recorder (passed to
             :func:`select_next`).
         iteration: Loop iteration tag for emitted events.
+        quarantined: Optional mask of permanently failed candidates.
+            Consulted before every pick — a point quarantined mid-batch
+            (e.g. by a concurrent tell of the same session) is cleared
+            from ``eligible`` in place and can never be re-proposed,
+            even if the caller's mask went stale between rounds.
 
     Returns:
         ``(evaluated, failed)`` candidate index lists, in evaluation
@@ -97,6 +214,11 @@ def select_with_fallback(
     evaluated: list[int] = []
     failed: list[int] = []
     while len(evaluated) < batch_size:
+        if quarantined is not None:
+            np.logical_and(
+                eligible, ~np.asarray(quarantined, dtype=bool),
+                out=eligible,
+            )
         want = batch_size - len(evaluated)
         chosen = select_next(
             regions, eligible, want, recorder=recorder,

@@ -64,16 +64,18 @@ from ..obs.events import (
     IterationEnd,
     IterationStart,
     PointQuarantined,
+    PoolRefined,
     RunEnd,
     RunStart,
 )
 from ..obs.recorder import NULL_RECORDER
 from ..pareto.dominance import pareto_indices as pareto_rows
+from ..space.sampling import latin_hypercube_unit
 from .calibration import CalibrationEngine
 from .config import PPATunerConfig
 from .decision import apply_decision_rules
 from .result import IterationRecord, TuningResult
-from .selection import select_next
+from .selection import select_batch, select_next
 from .uncertainty import UncertaintyRegions, prediction_rectangle
 
 __all__ = [
@@ -234,6 +236,10 @@ class TuningSession:
         self._t = 0
         self._in_iteration = False
         self._pending: list[int] = [int(i) for i in self.init_indices]
+        # Out-of-order tells within a batch buffer here until the head
+        # of ``_pending`` arrives; application order stays ask order.
+        self._told: dict[int, tuple] = {}
+        self._pool_log: list[tuple[int, int]] = []
         self._eligible = np.zeros(n, dtype=bool)
         self._evaluated_now: list[int] = []
         self._failed_now: list[int] = []
@@ -263,6 +269,12 @@ class TuningSession:
         span = np.where(hi > lo, hi - lo, 1.0)
         self.use_source = use_source
         self.Y_source = Y_source
+        # Refined candidates are clipped into [lo, hi], so the joint
+        # normalization is invariant under pool growth — a restored
+        # grown pool reproduces these exact constants.
+        self._norm_lo = lo
+        self._norm_hi = hi
+        self._norm_span = span
         self._Xn_pool = (self.X_pool - lo) / span
         self._Xn_sources = [
             ((Xs - lo) / span, Ys) for Xs, Ys in self.source_list
@@ -301,13 +313,16 @@ class TuningSession:
                 for j in range(self.m)
             ]
 
-    def _build_engine(self, recorder) -> None:
+    def _build_engine(self, recorder, n_pool: int | None = None) -> None:
         self.engine = CalibrationEngine(
             self.models, self.config, multi=self.multi,
             sources=self._Xn_sources, X_source=self._Xn_source,
             Y_source=self.Y_source, recorder=recorder,
         )
-        self.engine.register_pool(self._Xn_pool)
+        pool = (
+            self._Xn_pool if n_pool is None else self._Xn_pool[:n_pool]
+        )
+        self.engine.register_pool(pool)
 
     # ------------------------------------------------------------------
     # public surface
@@ -342,6 +357,7 @@ class TuningSession:
             "n_dropped": int(self.dropped.sum()),
             "n_quarantined": int(self.quarantined.sum()),
             "n_pending": len(self._pending),
+            "n_pool": int(self.n),
             "stop_reason": self.stop_reason if self.done else "",
             "done": self.done,
         }
@@ -355,7 +371,13 @@ class TuningSession:
         shrinks rectangles, applies the decision rules, and selects per
         Eq. (13); exhausting the loop runs ``_finalize`` and queues the
         golden-verification set.  Idempotent while results are
-        outstanding — repeated calls return the same indices.
+        outstanding — repeated calls return the same not-yet-told
+        indices (a buffered out-of-order tell is not re-asked).
+
+        With ``config.q > 1`` the loop phase queues up to ``q`` diverse
+        candidates per synchronous round (see
+        :func:`~repro.core.selection.select_batch`); their tells may
+        arrive in any order within the batch.
 
         Returns:
             Indices to evaluate and ``tell`` back, in order; empty once
@@ -371,6 +393,8 @@ class TuningSession:
                     self._begin_iteration()
             elif self._phase == "verify":
                 self._finish_verify()
+        if self._told:
+            return [i for i in self._pending if i not in self._told]
         return list(self._pending)
 
     def tell(
@@ -382,10 +406,17 @@ class TuningSession:
     ) -> None:
         """Report one asked candidate's evaluation outcome.
 
+        Within one asked batch, tells may arrive in *any* order: a tell
+        for a pending-but-not-head index is buffered and re-sequenced —
+        outcomes are always applied in ask order, so the evaluation
+        order (and with it the reproducibility contract) is independent
+        of which concurrent evaluation finished first.  Every buffered
+        outcome is applied before the next :meth:`ask` can advance the
+        state machine.
+
         Args:
-            index: The candidate index; must be the first outstanding
-                index of the last :meth:`ask` (evaluation order is part
-                of the reproducibility contract).
+            index: A candidate index of the last :meth:`ask`; each
+                pending index must be told exactly once.
             values: Golden QoR vector (NaN entries mark a partial
                 report; the region stays open on those metrics).
             failure: Permanent-failure descriptor instead of a value;
@@ -397,21 +428,52 @@ class TuningSession:
 
         Raises:
             RuntimeError: If the session is done or nothing is pending.
-            ValueError: On out-of-order indices, a missing/conflicting
-                outcome, or a malformed QoR vector.
+            ValueError: On an index that is not pending (or was already
+                told), a missing/conflicting outcome, or a malformed
+                QoR vector.
         """
         if self._phase == "done":
             raise RuntimeError("session is done; nothing to tell")
         if not self._pending:
             raise RuntimeError("tell() without an outstanding ask()")
         index = int(index)
-        if index != self._pending[0]:
-            raise ValueError(
-                f"out-of-order tell: expected candidate "
-                f"{self._pending[0]}, got {index}"
-            )
         if (values is None) == (failure is None):
             raise ValueError("tell exactly one of values or failure")
+        if values is not None:
+            values = np.asarray(values, dtype=float).ravel()
+            if values.shape != (self.m,):
+                raise ValueError(
+                    f"expected {self.m} objective values, "
+                    f"got {values.shape}"
+                )
+        if index != self._pending[0]:
+            if index not in self._pending:
+                raise ValueError(
+                    f"out-of-order tell: expected one of pending "
+                    f"candidate(s) {self._pending}, got {index}"
+                )
+            if index in self._told:
+                raise ValueError(
+                    f"duplicate tell for candidate {index}"
+                )
+            # Out-of-order within the batch: buffer; applied in ask
+            # order once the head outcome arrives.
+            self._told[index] = (values, failure, n_evaluations)
+            return
+        self._apply_tell(index, values, failure, n_evaluations)
+        while self._pending and self._pending[0] in self._told:
+            head = self._pending[0]
+            v, f, ne = self._told.pop(head)
+            self._apply_tell(head, v, f, ne)
+
+    def _apply_tell(
+        self,
+        index: int,
+        values: np.ndarray | None,
+        failure: EvaluationFailure | None,
+        n_evaluations: int | None,
+    ) -> None:
+        """Apply one outcome for the head of ``_pending``."""
         self._pending.pop(0)
 
         if values is not None:
@@ -441,13 +503,20 @@ class TuningSession:
                 self._verify_kept.append(index)
                 self._verify_rows.append(value)
             if n_evaluations is not None:
-                self._n_evaluations = int(n_evaluations)
+                # Counts are monotone; buffered out-of-order tells can
+                # apply a stale (earlier-completed) count last, so the
+                # largest reported count is the authoritative one.
+                self._n_evaluations = max(
+                    self._n_evaluations, int(n_evaluations)
+                )
             return
 
         # ---- failure path ----
         self.n_failed += 1
         if n_evaluations is not None:
-            self._n_evaluations = int(n_evaluations)
+            self._n_evaluations = max(
+                self._n_evaluations, int(n_evaluations)
+            )
         if self._phase == "loop":
             self._failed_now.append(index)
         if failure.circuit_open:
@@ -478,6 +547,7 @@ class TuningSession:
         if self._phase in ("verify", "done"):
             return
         self._pending = []
+        self._told.clear()
         if self._phase == "init":
             self._finish_init()
         if self._in_iteration:
@@ -565,6 +635,15 @@ class TuningSession:
             self._enter_verify()
             return
 
+        # ---- Adaptive pool refinement (zoom the discretization). ----
+        if (
+            cfg.pool_refine_every > 0
+            and t > 0
+            and t % cfg.pool_refine_every == 0
+        ):
+            self._refine_pool(t)
+            undecided = ~self.dropped & ~self.pareto
+
         if rec:
             rec.emit(IterationStart(
                 iteration=t,
@@ -600,18 +679,37 @@ class TuningSession:
         self.pareto[newly_pareto] = True
 
         # ---- Selection (lines 10-11): first batch of Eq. (13). ----
-        self._eligible = (~self.dropped) & (~self.sampled)
+        self._eligible = (
+            (~self.dropped) & (~self.sampled) & (~self.quarantined)
+        )
         self._evaluated_now = []
         self._failed_now = []
         self._in_iteration = True
-        self._select(cfg.batch_size)
+        self._select(self._round_size())
+
+    def _round_size(self) -> int:
+        """Per-round evaluation target: ``q`` supersedes ``batch_size``."""
+        cfg = self.config
+        return cfg.q if cfg.q > 1 else cfg.batch_size
 
     def _select(self, want: int) -> None:
-        """One max-diameter selection pass; queues the chosen batch."""
-        chosen = select_next(
-            self.regions, self._eligible, want,
-            recorder=self.recorder, iteration=self._t,
-        )
+        """One selection pass; queues the chosen batch.
+
+        ``q=1`` is the serial Eq. (13) rule (bit-identical to the
+        pre-batching path); ``q>1`` runs the greedy fantasy-collapse
+        batch rule.
+        """
+        if self.config.q > 1:
+            chosen = select_batch(
+                self.regions, self._eligible, want,
+                recorder=self.recorder, iteration=self._t,
+                penalty=self.config.q_penalty,
+            )
+        else:
+            chosen = select_next(
+                self.regions, self._eligible, want,
+                recorder=self.recorder, iteration=self._t,
+            )
         self._last_want = want
         self._last_chosen = len(chosen)
         if len(chosen) == 0:
@@ -628,14 +726,101 @@ class TuningSession:
         fallback past quarantined candidates); otherwise close out the
         iteration.
         """
-        cfg = self.config
+        want = self._round_size()
         if (
-            len(self._evaluated_now) < cfg.batch_size
+            len(self._evaluated_now) < want
             and self._last_chosen >= self._last_want
         ):
-            self._select(cfg.batch_size - len(self._evaluated_now))
+            self._select(want - len(self._evaluated_now))
             return
         self._end_iteration()
+
+    def _refine_pool(self, t: int) -> None:
+        """Append zoomed LHS candidates around the live front.
+
+        Adaptive discretization: instead of reasoning over a fixed
+        offline table forever, every ``pool_refine_every`` iterations
+        fresh Latin-hypercube points are spawned inside zoom boxes
+        centred on the highest-diameter live (non-collapsed) rectangles
+        — where belief is still widest near the predicted front — and
+        appended to the pool.  The GP caches extend incrementally
+        (:meth:`CalibrationEngine.extend_pool`); the sample is
+        deterministic in ``(seed, t)``, so replay and restore reproduce
+        the exact same rows.
+        """
+        cfg = self.config
+        live = ~self.dropped & ~self.sampled & ~self.quarantined
+        anchors = np.nonzero(live & self.regions.is_bounded())[0]
+        if len(anchors) == 0:
+            return
+        k = int(cfg.pool_refine_points)
+        diam = self.regions.diameters()[anchors]
+        order = np.argsort(-diam, kind="stable")
+        anchors = anchors[order[: min(len(anchors), k)]]
+        rng = np.random.default_rng(np.random.SeedSequence(
+            cfg.seed, spawn_key=(0x9E37, t)
+        ))
+        d = self.X_pool.shape[1]
+        counts = np.full(len(anchors), k // len(anchors), dtype=int)
+        counts[: k % len(anchors)] += 1
+        # Zoom boxes as a fraction of the *observed* span; degenerate
+        # dimensions (zero span) stay pinned so the joint normalization
+        # constants survive the append unchanged.
+        span = self._norm_hi - self._norm_lo
+        width = cfg.pool_zoom * span
+        rows = []
+        for a, c in zip(anchors, counts):
+            unit = latin_hypercube_unit(int(c), d, rng)
+            box_lo = self.X_pool[int(a)] - 0.5 * width
+            rows.append(np.clip(
+                box_lo + unit * width, self._norm_lo, self._norm_hi
+            ))
+        X_new = np.vstack(rows)
+        self._grow_pool(X_new)
+        self._pool_log.append((t, len(X_new)))
+        if self.recorder:
+            self.recorder.emit(PoolRefined(
+                iteration=t,
+                n_new=len(X_new),
+                n_pool=self.n,
+                n_anchors=len(anchors),
+                zoom=float(cfg.pool_zoom),
+            ))
+
+    def _grow_pool(self, X_new: np.ndarray) -> None:
+        """Extend every per-candidate state array by the new rows."""
+        k = len(X_new)
+        m = self.m
+        self.X_pool = np.vstack([self.X_pool, X_new])
+        Xn_new = (X_new - self._norm_lo) / self._norm_span
+        self._Xn_pool = np.vstack([self._Xn_pool, Xn_new])
+        self.n += k
+        self.sampled = np.concatenate(
+            [self.sampled, np.zeros(k, dtype=bool)]
+        )
+        self.dropped = np.concatenate(
+            [self.dropped, np.zeros(k, dtype=bool)]
+        )
+        self.pareto = np.concatenate(
+            [self.pareto, np.zeros(k, dtype=bool)]
+        )
+        self.quarantined = np.concatenate(
+            [self.quarantined, np.zeros(k, dtype=bool)]
+        )
+        self._eligible = np.concatenate(
+            [self._eligible, np.zeros(k, dtype=bool)]
+        )
+        self.y_obs = np.vstack([self.y_obs, np.full((k, m), np.nan)])
+        self.regions = UncertaintyRegions(
+            lo=np.vstack(
+                [self.regions.lo, np.full((k, m), -np.inf)]
+            ),
+            hi=np.vstack(
+                [self.regions.hi, np.full((k, m), np.inf)]
+            ),
+        )
+        if self.engine is not None:
+            self.engine.extend_pool(Xn_new)
 
     def _close_iteration(self) -> None:
         """Record and emit this iteration's bookkeeping."""
@@ -761,20 +946,23 @@ class TuningSession:
             carries a SHA-256 fingerprint over every array and the
             metadata itself; :meth:`restore` verifies it.
         """
+        # In-place-mutated arrays are copied: the snapshot must stay a
+        # faithful point-in-time capture even if this session keeps
+        # running (regions/masks/y_obs mutate in place every tell).
         arrays: dict[str, np.ndarray] = {
-            "X_pool": self.X_pool,
-            "y_obs": self.y_obs,
-            "regions_lo": self.regions.lo,
-            "regions_hi": self.regions.hi,
-            "sampled": self.sampled,
-            "dropped": self.dropped,
-            "pareto": self.pareto,
-            "quarantined": self.quarantined,
-            "init_indices": self.init_indices,
+            "X_pool": self.X_pool.copy(),
+            "y_obs": self.y_obs.copy(),
+            "regions_lo": self.regions.lo.copy(),
+            "regions_hi": self.regions.hi.copy(),
+            "sampled": self.sampled.copy(),
+            "dropped": self.dropped.copy(),
+            "pareto": self.pareto.copy(),
+            "quarantined": self.quarantined.copy(),
+            "init_indices": self.init_indices.copy(),
             "delta": np.asarray(self.delta, dtype=float),
             "eval_order": np.asarray(self._eval_order, dtype=int),
             "pending": np.asarray(self._pending, dtype=int),
-            "eligible": self._eligible,
+            "eligible": self._eligible.copy(),
             "evaluated_now": np.asarray(self._evaluated_now, dtype=int),
             "failed_now": np.asarray(self._failed_now, dtype=int),
             "new_indices": np.asarray(self._new_indices, dtype=int),
@@ -806,6 +994,20 @@ class TuningSession:
             "rng_state": _json_rng_state(self._rng_state),
             "calib_log": [
                 [t, list(new), n] for t, new, n in self._calib_log
+            ],
+            "pool_log": [[t, k] for t, k in self._pool_log],
+            "told": [
+                {
+                    "index": int(i),
+                    "values": (
+                        None if v is None else [float(x) for x in v]
+                    ),
+                    "failure": None if f is None else f.to_json(),
+                    "n_evaluations": (
+                        None if ne is None else int(ne)
+                    ),
+                }
+                for i, (v, f, ne) in self._told.items()
             ],
             "history": [h.to_json() for h in self.history],
         }
@@ -870,14 +1072,18 @@ class TuningSession:
 
         self.init_indices = np.asarray(arrays["init_indices"], dtype=int)
         self._rng_state = _rng_state_from_json(meta["rng_state"])
-        self.sampled = np.asarray(arrays["sampled"], dtype=bool)
-        self.dropped = np.asarray(arrays["dropped"], dtype=bool)
-        self.pareto = np.asarray(arrays["pareto"], dtype=bool)
-        self.quarantined = np.asarray(arrays["quarantined"], dtype=bool)
-        self.y_obs = np.asarray(arrays["y_obs"], dtype=float)
+        # Copy every mutable per-candidate array: an in-memory snapshot
+        # holds references, and a restored session must never share
+        # state with the donor session (or with a sibling restored from
+        # the same snapshot).
+        self.sampled = np.array(arrays["sampled"], dtype=bool)
+        self.dropped = np.array(arrays["dropped"], dtype=bool)
+        self.pareto = np.array(arrays["pareto"], dtype=bool)
+        self.quarantined = np.array(arrays["quarantined"], dtype=bool)
+        self.y_obs = np.array(arrays["y_obs"], dtype=float)
         self.regions = UncertaintyRegions(
-            lo=np.asarray(arrays["regions_lo"], dtype=float),
-            hi=np.asarray(arrays["regions_hi"], dtype=float),
+            lo=np.array(arrays["regions_lo"], dtype=float),
+            hi=np.array(arrays["regions_hi"], dtype=float),
         )
         self.delta = np.asarray(arrays["delta"], dtype=float)
         self._delta_norm = float(meta["delta_norm"])
@@ -894,12 +1100,31 @@ class TuningSession:
             (int(t), tuple(int(i) for i in new), int(n))
             for t, new, n in meta["calib_log"]
         ]
+        self._pool_log = [
+            (int(t), int(k)) for t, k in meta.get("pool_log", [])
+        ]
+        self._told = {}
+        for item in meta.get("told", []):
+            self._told[int(item["index"])] = (
+                (
+                    None if item["values"] is None
+                    else np.asarray(item["values"], dtype=float)
+                ),
+                (
+                    None if item["failure"] is None
+                    else EvaluationFailure.from_json(item["failure"])
+                ),
+                (
+                    None if item["n_evaluations"] is None
+                    else int(item["n_evaluations"])
+                ),
+            )
 
         self._phase = meta["phase"]
         self._t = int(meta["t"])
         self._in_iteration = bool(meta["in_iteration"])
         self._pending = [int(i) for i in arrays["pending"]]
-        self._eligible = np.asarray(arrays["eligible"], dtype=bool)
+        self._eligible = np.array(arrays["eligible"], dtype=bool)
         self._evaluated_now = [int(i) for i in arrays["evaluated_now"]]
         self._failed_now = [int(i) for i in arrays["failed_now"]]
         self._new_indices = [int(i) for i in arrays["new_indices"]]
@@ -932,11 +1157,27 @@ class TuningSession:
         the resumed posterior bit-identical, not merely close.  Events
         are suppressed (the engine gets the null recorder) because the
         original calibrations are already on the trace.
+
+        Pool growth replays too: the engine starts from the *initial*
+        pool and the logged refinement appends are re-applied right
+        before the calibrate call of their iteration — the same
+        cache-extension pattern (and therefore the same floating-point
+        path) as the live run.
         """
         self._build_models()
-        self._build_engine(NULL_RECORDER)
+        grown = self.n - sum(k for _, k in self._pool_log)
+        self._build_engine(NULL_RECORDER, n_pool=grown)
         cfg = self.config
+        growth = list(self._pool_log)
+        g = 0
         for t, new, n_order in self._calib_log:
+            while g < len(growth) and growth[g][0] <= t:
+                k = growth[g][1]
+                self.engine.extend_pool(
+                    self._Xn_pool[grown:grown + k]
+                )
+                grown += k
+                g += 1
             sampled_then = np.zeros(self.n, dtype=bool)
             sampled_then[self._eval_order[:n_order]] = True
             self.engine.calibrate(
@@ -966,6 +1207,15 @@ def drive(
     tell, repeat.  Permanent failures are fed back as
     :class:`EvaluationFailure` (or re-raised when the policy says so).
 
+    With ``config.q > 1``, multi-candidate loop batches are dispatched
+    through ``oracle.evaluate_batch`` first — concurrent under a
+    parallel oracle — and fall back to the serial per-index path on any
+    batch-level failure, preserving per-point retry and quarantine
+    semantics (already-evaluated points are then served from the
+    oracle's cache).  When adaptive pool refinement has grown the
+    session's pool past the oracle, the new candidate rows are handed
+    to ``oracle.extend`` before evaluation.
+
     Args:
         session: The session to drive.
         oracle: Any :class:`~repro.core.oracle.Oracle`; wrap it in a
@@ -977,6 +1227,10 @@ def drive(
 
     Returns:
         The session's final :class:`TuningResult`.
+
+    Raises:
+        RuntimeError: If pool refinement grew the pool and the oracle
+            has no ``extend`` capability.
     """
     from ..reliability.errors import (
         CircuitOpenError,
@@ -987,6 +1241,13 @@ def drive(
         pending = session.ask()
         if not pending:
             break
+        if session.n > oracle.n_candidates:
+            _extend_oracle(
+                oracle, session.X_pool[oracle.n_candidates:]
+            )
+        if len(pending) > 1 and session.config.q > 1:
+            if _drive_batch(session, oracle, pending):
+                continue
         for idx in pending:
             idx = int(idx)
             try:
@@ -1010,6 +1271,42 @@ def drive(
                 idx, value, n_evaluations=oracle.n_evaluations
             )
     return session.result()
+
+
+def _drive_batch(session, oracle, pending: list[int]) -> bool:
+    """One concurrent ``evaluate_batch`` dispatch of a pending batch.
+
+    Returns True when every pending candidate was evaluated and told;
+    False to fall back to the serial per-index path (which owns the
+    per-point failure handling — any successes of the aborted batch
+    attempt are re-served from the oracle's cache).
+    """
+    try:
+        rows = np.atleast_2d(np.asarray(
+            oracle.evaluate_batch([int(i) for i in pending]),
+            dtype=float,
+        ))
+    except Exception:
+        return False
+    if rows.shape[0] != len(pending):
+        return False
+    n_eval = oracle.n_evaluations
+    for idx, row in zip(pending, rows):
+        session.tell(int(idx), row.ravel(), n_evaluations=n_eval)
+    return True
+
+
+def _extend_oracle(oracle, X_new: np.ndarray) -> None:
+    """Hand refined candidate rows to an extendable oracle."""
+    extend = getattr(oracle, "extend", None)
+    if extend is None:
+        raise RuntimeError(
+            "pool refinement grew the candidate pool but the oracle "
+            "cannot extend; use an extendable oracle (e.g. "
+            "CallableOracle or a FlowOracle with a decoder) or set "
+            "pool_refine_every=0"
+        )
+    extend(X_new)
 
 
 def _finalize_mask(

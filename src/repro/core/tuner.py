@@ -12,6 +12,13 @@ ask/tell state machine; :meth:`PPATuner.tune` is its closed-loop driver —
 it wires the resilience layer around the oracle, adopts the trace
 recorder, and feeds evaluations back until the session completes.  Both
 surfaces produce identical results and event streams for the same seed.
+With ``config.q > 1`` the driver dispatches each pending batch through
+``Oracle.evaluate_batch`` — concurrent under oracles that advertise
+``supports_parallel_batch`` (the paper's parallel tool licenses) — and
+with ``config.pool_refine_every > 0`` the candidate pool grows mid-run,
+which requires an oracle exposing ``extend`` (see
+:class:`~repro.core.oracle.CallableOracle` and
+:class:`~repro.core.oracle.FlowOracle` with a decoder).
 
 The tuner accepts any object satisfying the
 :class:`~repro.core.oracle.Oracle` protocol and, when given a

@@ -325,6 +325,77 @@ class IncrementalGPMixin:
         self._pool_dtype = dtype
         self._invalidate_pool_cache()
 
+    def extend_pool(self, X_new: np.ndarray, cache: bool = True) -> None:
+        """Append candidate rows to the registered pool (append path).
+
+        The adaptive-refinement counterpart of :meth:`update`: where
+        ``update`` extends the caches by new *training* columns, this
+        extends them by new *pool* rows.  Only the appended rows' cross-
+        covariance (``(k, n)``) and whitened columns (``(n, k)``) are
+        computed — the existing caches are never rebuilt, so growing the
+        pool costs O(k·n²) instead of O(p·n²).
+
+        Args:
+            X_new: ``(k, d)`` new target-task candidate features,
+                appended after the existing pool rows (indices continue
+                from ``len(pool)``).
+            cache: Extend the prediction caches in place when they are
+                materialized.  ``False`` extends only the pool features
+                and invalidates the caches — used by the shared-factor
+                path, where followers adopt the lead model's extended
+                caches instead of recomputing identical blocks.
+
+        Raises:
+            RuntimeError: If no pool is registered.
+            ValueError: On dimensionality mismatch.
+        """
+        if self._pool_X is None:
+            raise RuntimeError("extend_pool() before register_pool()")
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        if X_new.size == 0:
+            return
+        if X_new.shape[1] != self._pool_X.shape[1]:
+            raise ValueError("dimensionality mismatch")
+        have_cache = (
+            cache
+            and self._pool_K is not None
+            and self._pool_V is not None
+            and self._L is not None
+        )
+        self._pool_X = np.vstack([self._pool_X, X_new])
+        if not have_cache:
+            # No live caches to extend (pre-first-prediction, or a
+            # follower about to adopt the lead's): rebuild lazily.
+            self._invalidate_pool_cache()
+            return
+        k = len(X_new)
+        n = len(self._L)
+        block = self._pool_block
+        if not block or k <= block:
+            K_new = self._cross_cov(X_new)
+            V_new = solve_triangular(self._L, K_new.T, lower=True)
+        else:
+            K_new = np.empty((k, n))
+            V_new = np.empty((n, k))
+            for s in range(0, k, block):
+                e = min(s + block, k)
+                Kb = self._cross_cov(X_new[s:e])
+                K_new[s:e] = Kb
+                V_new[:, s:e] = solve_triangular(
+                    self._L, Kb.T, lower=True
+                )
+        if self._pool_dtype is not None:
+            K_new = K_new.astype(self._pool_dtype)
+            V_new = V_new.astype(self._pool_dtype)
+        self._pool_K = np.vstack([
+            self._pool_K,
+            K_new.astype(self._pool_K.dtype, copy=False),
+        ])
+        self._pool_V = np.hstack([
+            self._pool_V,
+            V_new.astype(self._pool_V.dtype, copy=False),
+        ])
+
     def _invalidate_pool_cache(self) -> None:
         self._pool_K = None
         self._pool_V = None

@@ -24,6 +24,7 @@ Quickstart::
 
 from .events import (
     EVENT_TYPES,
+    BatchSelected,
     CalibrationDone,
     CircuitStateChange,
     DecisionSummary,
@@ -31,6 +32,7 @@ from .events import (
     IterationEnd,
     IterationStart,
     PointQuarantined,
+    PoolRefined,
     RunEnd,
     RunStart,
     SelectionMade,
@@ -59,6 +61,7 @@ from .sinks import (
 __all__ = [
     "EVENT_TYPES",
     "NULL_RECORDER",
+    "BatchSelected",
     "CalibrationDone",
     "CircuitStateChange",
     "Counter",
@@ -72,6 +75,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "PointQuarantined",
+    "PoolRefined",
     "RunEnd",
     "RunStart",
     "SelectionMade",

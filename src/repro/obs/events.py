@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass, field, fields
 
 __all__ = [
     "EVENT_TYPES",
+    "BatchSelected",
     "CalibrationDone",
     "CircuitStateChange",
     "DecisionSummary",
@@ -36,6 +37,7 @@ __all__ = [
     "IterationEnd",
     "IterationStart",
     "PointQuarantined",
+    "PoolRefined",
     "RunEnd",
     "RunStart",
     "SelectionMade",
@@ -156,6 +158,52 @@ class SelectionMade(TraceEvent):
     iteration: int
     selected: list[int] = field(default_factory=list)
     diameters: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class BatchSelected(TraceEvent):
+    """Batched selection (``q>1``) picked one diverse tool batch.
+
+    Emitted *in addition to* the per-pick :class:`SelectionMade`
+    events — consumers that only understand serial traces keep working,
+    while batch-aware tooling can recover the greedy order and the
+    diversity penalties actually applied.
+
+    Attributes:
+        iteration: Loop iteration.
+        selected: Chosen candidate indices in greedy pick order.
+        diameters: True (pre-fantasy) rectangle diameters of the picks.
+        scores: Penalized scores at pick time (``diameters[0] ==
+            scores[0]`` — the first pick is never penalized).
+    """
+
+    type = "batch_selected"
+
+    iteration: int
+    selected: list[int] = field(default_factory=list)
+    diameters: list[float] = field(default_factory=list)
+    scores: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class PoolRefined(TraceEvent):
+    """Adaptive pool refinement appended zoomed LHS candidates.
+
+    Attributes:
+        iteration: Loop iteration the refinement ran before.
+        n_new: Candidates appended this round.
+        n_pool: Pool size *after* the append.
+        n_anchors: Live rectangles the zoom boxes were centred on.
+        zoom: Zoom half-width (fraction of the parameter-space span).
+    """
+
+    type = "pool_refined"
+
+    iteration: int
+    n_new: int
+    n_pool: int
+    n_anchors: int
+    zoom: float
 
 
 @dataclass(frozen=True)
@@ -303,6 +351,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         CalibrationDone,
         DecisionSummary,
         SelectionMade,
+        BatchSelected,
+        PoolRefined,
         ToolEvaluation,
         IterationEnd,
         EvaluationRetry,

@@ -21,7 +21,9 @@ import numpy as np
 
 from ..core.result import IterationRecord, TuningResult
 from .events import (
+    BatchSelected,
     IterationEnd,
+    PoolRefined,
     RunEnd,
     RunStart,
     ToolEvaluation,
@@ -78,6 +80,10 @@ class TraceReplay:
         history: Reconstructed per-iteration records.
         evaluations: Candidate index → last observed QoR vector, from
             the ``ToolEvaluation`` stream.
+        batch_selections: Every ``BatchSelected`` event (q > 1 runs),
+            in emission order.
+        pool_refinements: Every ``PoolRefined`` event, in emission
+            order — their ``n_new`` sum is the run's pool growth.
     """
 
     events: list[TraceEvent]
@@ -85,6 +91,13 @@ class TraceReplay:
     run_end: RunEnd | None
     history: list[IterationRecord]
     evaluations: dict[int, np.ndarray] = field(default_factory=dict)
+    batch_selections: list[BatchSelected] = field(default_factory=list)
+    pool_refinements: list[PoolRefined] = field(default_factory=list)
+
+    @property
+    def n_pool_grown(self) -> int:
+        """Candidates added by refinement over the replayed run."""
+        return sum(ev.n_new for ev in self.pool_refinements)
 
     @property
     def pareto_indices(self) -> np.ndarray:
@@ -161,12 +174,16 @@ def replay_trace(
     run_end: RunEnd | None = None
     history: list[IterationRecord] = []
     evaluations: dict[int, np.ndarray] = {}
+    batch_selections: list[BatchSelected] = []
+    pool_refinements: list[PoolRefined] = []
     for event in events:
         if isinstance(event, RunStart):
             run_start = event
             run_end = None
             history = []
             evaluations = {}
+            batch_selections = []
+            pool_refinements = []
         elif isinstance(event, IterationEnd):
             history.append(IterationRecord(
                 iteration=event.iteration,
@@ -181,6 +198,10 @@ def replay_trace(
             evaluations[event.index] = np.asarray(
                 event.values, dtype=float
             )
+        elif isinstance(event, BatchSelected):
+            batch_selections.append(event)
+        elif isinstance(event, PoolRefined):
+            pool_refinements.append(event)
         elif isinstance(event, RunEnd):
             run_end = event
     return TraceReplay(
@@ -189,6 +210,8 @@ def replay_trace(
         run_end=run_end,
         history=history,
         evaluations=evaluations,
+        batch_selections=batch_selections,
+        pool_refinements=pool_refinements,
     )
 
 

@@ -164,6 +164,19 @@ def summarize_trace(source: str | Path | TraceReplay) -> str:
             f"selection: {n_sel} candidate(s) sent to the tool over "
             f"{len(sel)} decision round(s)"
         )
+        if replay.batch_selections:
+            sizes = [len(e.selected) for e in replay.batch_selections]
+            lines.append(
+                f"batching: {len(sizes)} q-point round(s), batch size "
+                f"max={max(sizes)} mean={sum(sizes) / len(sizes):.1f}"
+            )
+        if replay.pool_refinements:
+            final = replay.pool_refinements[-1]
+            lines.append(
+                f"pool refinement: {len(replay.pool_refinements)} "
+                f"round(s), +{replay.n_pool_grown} candidate(s) "
+                f"(pool -> {final.n_pool}, zoom={final.zoom:g})"
+            )
 
     retries = [e for e in events if isinstance(e, EvaluationRetry)]
     breaker = [e for e in events if isinstance(e, CircuitStateChange)]

@@ -200,9 +200,65 @@ class ResilientOracle:
             self._record_success()
             return value
 
+    @property
+    def supports_parallel_batch(self) -> bool:
+        """Whether the wrapped oracle runs batch members concurrently."""
+        return bool(getattr(self.inner, "supports_parallel_batch", False))
+
     def evaluate_batch(self, indices: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`evaluate`; rows follow ``indices`` order."""
-        return np.vstack([self.evaluate(int(i)) for i in indices])
+        """Vectorized :meth:`evaluate`; rows follow ``indices`` order.
+
+        When the wrapped oracle advertises ``supports_parallel_batch``
+        and the breaker is closed, the whole batch is first prefetched
+        through the inner oracle's concurrent path; a healthy batch
+        (no all-NaN row, no exception) returns directly and counts as
+        one success for the breaker.  Any trouble falls back to the
+        per-point serial path, whose retry schedule, breaker bookkeeping
+        and quarantine semantics are byte-identical to calling
+        :meth:`evaluate` in a loop — oracles without the attribute
+        (every fault injector in the test-suite) always take that path.
+        """
+        idx = [int(i) for i in indices]
+        if not idx:
+            return np.empty((0, self.n_objectives))
+        if (
+            self.state == "closed"
+            and getattr(self.inner, "supports_parallel_batch", False)
+        ):
+            try:
+                rows = np.atleast_2d(np.asarray(
+                    self.inner.evaluate_batch(idx), dtype=float
+                ))
+            except self._retryable:
+                pass  # fall through to the serial retry path
+            else:
+                if (
+                    rows.shape[0] == len(idx)
+                    and not (
+                        rows.size
+                        and (~np.isfinite(rows)).all(axis=1).any()
+                    )
+                ):
+                    self._record_success()
+                    return rows
+                # A bad row means some member needs the retry machinery;
+                # the serial pass below re-serves healthy members from
+                # the inner oracle's cache.
+        return np.vstack([self.evaluate(i) for i in idx])
+
+    def extend(self, X_new: np.ndarray) -> None:
+        """Forward a pool extension to the wrapped oracle.
+
+        Raises:
+            RuntimeError: If the wrapped oracle cannot extend its pool.
+        """
+        extend = getattr(self.inner, "extend", None)
+        if extend is None:
+            raise RuntimeError(
+                f"{type(self.inner).__name__} does not support pool "
+                "extension"
+            )
+        extend(X_new)
 
     # ------------------------------------------------------------------
     # one attempt

@@ -159,6 +159,31 @@ class ServiceClient:
             "POST", f"/sessions/{session_id}/tell", payload
         )
 
+    def tell_batch(self, session_id: str, tells: list[dict]) -> dict:
+        """Report a whole batch of outcomes in one request.
+
+        Args:
+            session_id: Target session.
+            tells: Entries with the same keys :meth:`tell` takes
+                (``index`` plus ``values``/``failure`` and optional
+                ``n_evaluations``/``events``); any order within the
+                pending batch is accepted.
+        """
+        return self._request(
+            "POST", f"/sessions/{session_id}/tell_batch",
+            {"tells": tells},
+        )
+
+    def pool(self, session_id: str, start: int = 0) -> dict:
+        """Fetch candidate-pool rows from index ``start`` on.
+
+        Used after an ask reply whose ``n_pool`` exceeds the locally
+        known pool size — refinement grew the server-side pool.
+        """
+        return self._request(
+            "GET", f"/sessions/{session_id}/pool?from={int(start)}"
+        )
+
     def stop(self, session_id: str, reason: str = "stopped") -> dict:
         """Force a session to wrap up through golden verification."""
         return self._request(
@@ -285,6 +310,24 @@ class RemoteTuner:
                 pending = reply["pending"]
                 if not pending:
                     break
+                n_pool = int(reply.get("n_pool", oracle.n_candidates))
+                if n_pool > oracle.n_candidates:
+                    # Server-side refinement grew the pool; pull the new
+                    # rows and teach the local oracle about them.
+                    extend = getattr(oracle, "extend", None)
+                    if extend is None:
+                        raise RuntimeError(
+                            f"{type(oracle).__name__} cannot evaluate "
+                            "refined candidates; use an extendable "
+                            "oracle or pool_refine_every=0"
+                        )
+                    rows = self.client.pool(
+                        sid, start=oracle.n_candidates
+                    )["X_pool"]
+                    extend(np.asarray(rows, dtype=float))
+                if len(pending) > 1 and cfg.q > 1:
+                    if self._tell_pending_batch(sid, oracle, pending, drain):
+                        continue
                 for idx in pending:
                     idx = int(idx)
                     try:
@@ -317,11 +360,49 @@ class RemoteTuner:
                     )
             return self.client.result(sid)
         finally:
-            if adopted:
-                # Restore the caller's exact attribute value (which may
-                # be None or another falsy sentinel).
-                oracle_attr = (
-                    oracle.inner
-                    if isinstance(oracle, ResilientOracle) else oracle
-                )
-                oracle_attr.recorder = original_recorder
+            self._cleanup(oracle, adopted, original_recorder)
+
+    def _tell_pending_batch(
+        self, sid: str, oracle, pending: list[int], drain
+    ) -> bool:
+        """Evaluate a pending batch concurrently and tell it in one shot.
+
+        Returns False when the oracle's batch path errors — the caller
+        then falls back to the serial per-point loop, whose retry and
+        failure-reporting semantics are unchanged.
+        """
+        idx = [int(i) for i in pending]
+        try:
+            rows = np.atleast_2d(np.asarray(
+                oracle.evaluate_batch(idx), dtype=float
+            ))
+        except Exception:
+            return False
+        if rows.shape[0] != len(idx):
+            return False
+        n_eval = oracle.n_evaluations
+        events = drain()
+        tells = []
+        for k, (i, row) in enumerate(zip(idx, rows)):
+            entry: dict = {
+                "index": i,
+                "values": [float(v) for v in row.ravel()],
+                "n_evaluations": int(n_eval),
+            }
+            if k == 0 and events:
+                entry["events"] = events
+            tells.append(entry)
+        self.client.tell_batch(sid, tells)
+        return True
+
+    def _cleanup(self, oracle, adopted, original_recorder) -> None:
+        from ..reliability.resilient import ResilientOracle
+
+        if adopted:
+            # Restore the caller's exact attribute value (which may
+            # be None or another falsy sentinel).
+            oracle_attr = (
+                oracle.inner
+                if isinstance(oracle, ResilientOracle) else oracle
+            )
+            oracle_attr.recorder = original_recorder

@@ -18,8 +18,10 @@ dependencies)::
     POST   /sessions                 create (config, pool, sources, ...)
     GET    /sessions                 list session statuses
     GET    /sessions/<id>            one session's status
-    POST   /sessions/<id>/ask        -> {"pending": [...], "done": ...}
+    POST   /sessions/<id>/ask        -> {"pending": [...], "n_pool": ...}
     POST   /sessions/<id>/tell       report one evaluation or failure
+    POST   /sessions/<id>/tell_batch report a whole batch in one request
+    GET    /sessions/<id>/pool?from=N  refined pool rows from index N on
     POST   /sessions/<id>/stop       force wrap-up (golden verification)
     GET    /sessions/<id>/result     final TuningResult (409 until done)
     DELETE /sessions/<id>            drop session, snapshot and trace
@@ -252,6 +254,10 @@ class TuningService:
             return {
                 "pending": pending,
                 "done": session.done,
+                # Pool size rides along so batch clients notice
+                # refinement growth and fetch the new rows (see
+                # :meth:`pool`) before evaluating.
+                "n_pool": int(session.n),
                 "status": session.status(),
             }
 
@@ -288,6 +294,65 @@ class TuningService:
             )
             self._persist(session_id, managed)
             return {"status": session.status()}
+
+    def tell_batch(self, session_id: str, payload: dict) -> dict:
+        """Feed several evaluation outcomes under one session lock.
+
+        Payload: ``{"tells": [<tell payload>, ...]}`` — each entry has
+        the same shape :meth:`tell` accepts.  Outcomes may arrive in any
+        order within a pending batch; the session buffers out-of-order
+        members and applies everything in ask order.  One snapshot is
+        written after the whole batch, so a crash between members can
+        lose at most one batch of tells (the client's next ask re-issues
+        the still-pending candidates).
+        """
+        managed = self._managed(session_id)
+        tells = payload.get("tells") or []
+        with managed.lock:
+            session = managed.session
+            recorder = session.recorder
+            for entry in tells:
+                if recorder:
+                    for event in entry.get("events") or []:
+                        recorder.emit(event_from_json(event))
+                failure = entry.get("failure")
+                values = entry.get("values")
+                session.tell(
+                    int(entry["index"]),
+                    values=(
+                        np.asarray(values, dtype=float)
+                        if values is not None else None
+                    ),
+                    failure=(
+                        EvaluationFailure.from_json(failure)
+                        if failure is not None else None
+                    ),
+                    n_evaluations=entry.get("n_evaluations"),
+                )
+            self._persist(session_id, managed)
+            return {"told": len(tells), "status": session.status()}
+
+    def pool(self, session_id: str, start: int = 0) -> dict:
+        """Candidate-pool rows from index ``start`` on.
+
+        Batch clients call this when an ask reply's ``n_pool`` exceeds
+        the pool size they know, then extend their local oracle with
+        the returned rows (refined candidates are *new* configurations
+        the client has never seen).
+        """
+        managed = self._managed(session_id)
+        with managed.lock:
+            session = managed.session
+            start = int(start)
+            if not 0 <= start <= session.n:
+                raise ValueError(
+                    f"start {start} outside pool [0, {session.n}]"
+                )
+            return {
+                "n_pool": int(session.n),
+                "start": start,
+                "X_pool": session.X_pool[start:].tolist(),
+            }
 
     def stop(self, session_id: str, reason: str = "stopped") -> dict:
         """Force a session to wrap up through golden verification."""
@@ -396,6 +461,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, service.ask(sid))
             elif method == "POST" and action == "tell":
                 self._reply(200, service.tell(sid, self._body()))
+            elif method == "POST" and action == "tell_batch":
+                self._reply(200, service.tell_batch(sid, self._body()))
+            elif method == "GET" and action == "pool":
+                query = self.path.split("?", 1)
+                start = 0
+                if len(query) > 1:
+                    for pair in query[1].split("&"):
+                        if pair.startswith("from="):
+                            start = int(pair.split("=", 1)[1])
+                self._reply(200, service.pool(sid, start))
             elif method == "POST" and action == "stop":
                 body = self._body()
                 self._reply(

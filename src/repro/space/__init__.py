@@ -10,6 +10,7 @@ from .parameters import (
 from .sampling import (
     grid_sample,
     latin_hypercube,
+    latin_hypercube_unit,
     random_sample,
     unique_configurations,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "ParameterSpace",
     "grid_sample",
     "latin_hypercube",
+    "latin_hypercube_unit",
     "random_sample",
     "unique_configurations",
 ]

@@ -41,6 +41,35 @@ def latin_hypercube(
     return [space.from_unit(row) for row in unit]
 
 
+def latin_hypercube_unit(
+    n: int, dim: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Raw unit-cube Latin-hypercube rows (no parameter space).
+
+    The building block behind :func:`latin_hypercube`, exposed for
+    callers that stratify a plain box rather than a
+    :class:`ParameterSpace` — adaptive pool refinement zooms these rows
+    into boxes around live candidates.
+
+    Args:
+        n: Number of rows (>= 1).
+        dim: Dimensionality.
+        rng: Generator supplying the strata jitter and permutations
+            (caller-owned so the sample is reproducible).
+
+    Returns:
+        ``(n, dim)`` array in ``[0, 1)``; every dimension hits each of
+        the ``n`` strata exactly once.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    unit = np.empty((n, dim))
+    for j in range(dim):
+        perm = rng.permutation(n)
+        unit[:, j] = (perm + rng.uniform(size=n)) / n
+    return unit
+
+
 def random_sample(
     space: ParameterSpace, n: int, seed: int | None = None
 ) -> list[Configuration]:

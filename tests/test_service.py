@@ -289,3 +289,92 @@ class TestStoreValidation:
         restored = TuningSession.restore(snapshot)
         assert restored.phase == session.phase
         assert list(store.list_ids()) == ["one"]
+
+
+class TestBatchEndpoints:
+    def test_batched_remote_matches_inprocess(self, http):
+        _, client = http
+        X, Y = random_pool(12, n=44)
+        cfg = PPATunerConfig(max_iterations=12, seed=3, q=4)
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+        got = RemoteTuner(client, config=cfg).tune(X, PoolOracle(Y))
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.array_equal(
+            ref.evaluated_indices, got.evaluated_indices
+        )
+        assert ref.n_evaluations == got.n_evaluations
+        assert ref.history == got.history
+        assert non_dominated_mask(got.pareto_points).all()
+
+    def test_tell_batch_accepts_out_of_order(self, http):
+        _, client = http
+        X, Y = random_pool(13, n=40)
+        cfg = PPATunerConfig(max_iterations=10, seed=1, q=4)
+        sid = client.create_session(cfg, X, Y.shape[1])
+        oracle = PoolOracle(Y)
+        while True:
+            reply = client.ask(sid)
+            pending = reply["pending"]
+            assert "n_pool" in reply
+            if not pending:
+                break
+            rows = oracle.evaluate_batch(pending)
+            tells = [
+                {
+                    "index": int(i),
+                    "values": [float(v) for v in row],
+                    "n_evaluations": oracle.n_evaluations,
+                }
+                for i, row in zip(pending, rows)
+            ]
+            # Reversed within the batch: the session re-sequences.
+            out = client.tell_batch(sid, list(reversed(tells)))
+            assert out["told"] == len(tells)
+        got = client.result(sid)
+        ref = PPATuner(cfg).tune(X, PoolOracle(Y))
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert ref.n_evaluations == got.n_evaluations
+
+    def test_pool_endpoint_serves_rows_and_validates_range(self, http):
+        _, client = http
+        X, Y = random_pool(14, n=30)
+        cfg = PPATunerConfig(max_iterations=8, seed=0)
+        sid = client.create_session(cfg, X, Y.shape[1])
+        reply = client.pool(sid)
+        assert reply["n_pool"] == 30
+        assert reply["start"] == 0
+        np.testing.assert_allclose(np.asarray(reply["X_pool"]), X)
+        tail = client.pool(sid, start=28)
+        np.testing.assert_allclose(np.asarray(tail["X_pool"]), X[28:])
+        assert client.pool(sid, start=30)["X_pool"] == []
+        with pytest.raises(ServiceError) as exc:
+            client.pool(sid, start=31)
+        assert exc.value.status == 400
+
+    def test_refined_pool_flows_through_service(self, http):
+        from repro.core import CallableOracle
+
+        _, client = http
+        rng = np.random.default_rng(7)
+        X = rng.uniform(size=(30, 3))
+
+        def f(x):
+            return np.array([
+                float(np.sum((x - 0.3) ** 2)),
+                float(np.sum((x - 0.7) ** 2)),
+            ])
+
+        cfg = PPATunerConfig(
+            max_iterations=14, seed=2, pool_refine_every=4,
+            pool_refine_points=6, reopt_every=0, n_restarts=0,
+        )
+        ref_oracle = CallableOracle(f, X, 2)
+        ref = PPATuner(cfg).tune(X, ref_oracle)
+        assert ref_oracle.n_candidates > 30  # refinement fired
+
+        oracle = CallableOracle(f, X, 2)
+        got = RemoteTuner(client, config=cfg).tune(X, oracle)
+        assert oracle.n_candidates == ref_oracle.n_candidates
+        assert np.array_equal(ref.pareto_indices, got.pareto_indices)
+        assert np.allclose(ref.pareto_points, got.pareto_points)
+        assert ref.n_evaluations == got.n_evaluations

@@ -234,13 +234,31 @@ class TestTellContract:
         )
         return s, Y
 
-    def test_rejects_out_of_order_index(self):
+    def test_rejects_non_pending_index(self):
         s, Y = self._session()
         pending = s.ask()
         assert len(pending) >= 1
-        wrong = pending[-1] + 1 if len(pending) == 1 else pending[-1]
+        wrong = max(pending) + 1
         with pytest.raises(ValueError, match="expected"):
-            s.tell(wrong, Y[wrong])
+            s.tell(wrong, Y[wrong % len(Y)])
+
+    def test_out_of_order_tell_buffers_and_resequences(self):
+        s, Y = self._session()
+        pending = s.ask()
+        if len(pending) < 2:
+            pytest.skip("init batch has a single pending candidate")
+        tail = pending[-1]
+        s.tell(tail, Y[tail])  # buffered, not yet applied
+        # The told candidate is no longer offered...
+        assert tail not in s.ask()
+        # ...and a second tell for it is rejected.
+        with pytest.raises(ValueError, match="duplicate"):
+            s.tell(tail, Y[tail])
+        # Outcomes flush in ask order once the head arrives.
+        for idx in pending[:-1]:
+            s.tell(idx, Y[idx])
+        assert tail not in s.ask()
+        assert list(s._eval_order[-len(pending):]) == list(pending)
 
     def test_rejects_values_and_failure_together(self):
         s, Y = self._session()
