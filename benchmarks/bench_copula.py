@@ -1,0 +1,210 @@
+"""Copula warm-start benchmark: few-shot convergence on cross-design
+transfer.
+
+The scenario is a cross-design archive reuse: the source archive is a
+wider two-lane MAC, the target pool a smaller single-lane MAC over the
+same tool-parameter space, both evaluated through the repo's PD flow.
+Two PPATuner arms run the identical seeded session — one with the
+default random initial design (``warm_start="random"``), one seeded by
+the Gaussian-copula warm start (``warm_start="copula"``, copula-anchored
+seeds blended with a uniform fill) — under a small tool-run cap, the
+few-shot regime the warm start exists for.
+
+The gate is the ISSUE's acceptance criterion: at the hyper-volume error
+the random-init arms end at (mean over repeats), the warm-started arms
+must get there in >= 1.5x fewer tool runs.
+
+Usage:
+    pytest benchmarks/bench_copula.py              # via pytest-benchmark
+    PYTHONPATH=src python benchmarks/bench_copula.py --smoke
+
+``--smoke`` is the CI tier: one fewer repeat, same pools and the same
+>= 1.5x tool-run gate.  Both tiers are fully deterministic — seeded
+pools, seeded sessions, a table-lookup oracle — so a pass is exact, not
+statistical.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.bench.generate import evaluate_configs
+from repro.bench.spaces import target2_space
+from repro.core import PPATunerConfig, PoolOracle, TuningSession
+from repro.pareto import hypervolume_error, pareto_front
+from repro.pdtool.flow import FlowConfig, PDFlow
+from repro.pdtool.mac import MacSpec, generate_mac_netlist
+from repro.space.sampling import latin_hypercube
+
+#: Tool-run advantage the warm-started arm must deliver (ISSUE gate).
+MIN_RUN_RATIO = 1.5
+
+#: Source (archive) and target designs — different MACs, same space.
+SOURCE_MAC = MacSpec(width=6, lanes=2, acc_bits=14, name="mac_src")
+TARGET_MAC = MacSpec(width=4, lanes=1, acc_bits=10, name="mac_tgt")
+
+
+def _make_problem(n_source: int, n_pool: int):
+    """Cross-design transfer pools over the target2 parameter space."""
+    space = target2_space()
+    flow_src = PDFlow(
+        generate_mac_netlist(SOURCE_MAC), FlowConfig(qor_noise=0.01)
+    )
+    flow_tgt = PDFlow(
+        generate_mac_netlist(TARGET_MAC), FlowConfig(qor_noise=0.01)
+    )
+    configs_src = latin_hypercube(space, n_source, seed=1)
+    configs_tgt = latin_hypercube(space, n_pool, seed=2)
+    Y_src = evaluate_configs(flow_src, configs_src, {"freq": 700.0})
+    Y_tgt = evaluate_configs(flow_tgt, configs_tgt, {"freq": 700.0})
+    X_src = space.encode_many(configs_src)
+    X_tgt = space.encode_many(configs_tgt)
+    return X_src, Y_src, X_tgt, Y_tgt, pareto_front(Y_tgt)
+
+
+def run_arm(
+    X_src: np.ndarray,
+    Y_src: np.ndarray,
+    X_tgt: np.ndarray,
+    Y_tgt: np.ndarray,
+    golden: np.ndarray,
+    warm_start: str,
+    seed: int,
+    budget: int,
+) -> list[float]:
+    """Drive one capped ask/tell session; best-so-far HV error per run."""
+    cfg = PPATunerConfig(
+        max_iterations=60, seed=seed,
+        warm_start=warm_start, init_fraction=0.04,
+    )
+    session = TuningSession(
+        cfg, X_tgt, Y_tgt.shape[1], sources=[(X_src, Y_src)]
+    )
+    oracle = PoolOracle(Y_tgt)
+    rows: list[np.ndarray] = []
+    curve: list[float] = []
+    done = False
+    while not done:
+        pending = session.ask()
+        if not pending:
+            break
+        for idx in pending:
+            row = oracle.evaluate(int(idx))
+            rows.append(np.asarray(row))
+            session.tell(
+                int(idx), row, n_evaluations=oracle.n_evaluations
+            )
+            curve.append(
+                float(hypervolume_error(
+                    pareto_front(np.vstack(rows)), golden
+                ))
+            )
+            if len(curve) >= budget:
+                done = True
+                break
+    return curve
+
+
+def _runs_to(curve: list[float], target: float) -> int | None:
+    for i, err in enumerate(curve):
+        if err <= target + 1e-12:
+            return i + 1
+    return None
+
+
+def compare(*, n_source: int, n_pool: int, budget: int, repeats: int):
+    problem = _make_problem(n_source, n_pool)
+    random_curves = [
+        run_arm(*problem, "random", seed, budget)
+        for seed in range(repeats)
+    ]
+    warm_curves = [
+        run_arm(*problem, "copula", seed, budget)
+        for seed in range(repeats)
+    ]
+    # Tool runs to the HV error the random arms end at (mean final over
+    # the repeats); an arm that never reaches it is charged the full
+    # budget.
+    target = float(np.mean([c[-1] for c in random_curves]))
+    runs_random = [_runs_to(c, target) or budget for c in random_curves]
+    runs_warm = [_runs_to(c, target) or budget for c in warm_curves]
+    return {
+        "n_source": n_source,
+        "n_pool": n_pool,
+        "budget": budget,
+        "repeats": repeats,
+        "target_hv_error": target,
+        "runs_random": runs_random,
+        "runs_warm": runs_warm,
+        "run_ratio": float(np.mean(runs_random) / np.mean(runs_warm)),
+        "hv_final_random": [float(c[-1]) for c in random_curves],
+        "hv_final_warm": [float(c[-1]) for c in warm_curves],
+        "hv_curves_random": [[float(e) for e in c] for c in random_curves],
+        "hv_curves_warm": [[float(e) for e in c] for c in warm_curves],
+    }
+
+
+def _report(tag: str, res: dict) -> None:
+    print(f"\n=== Copula warm start ({tag}) ===")
+    print(f"pools   : {res['n_source']} source / {res['n_pool']} target, "
+          f"budget {res['budget']} tool runs x {res['repeats']} repeats")
+    print(f"random  : runs-to-target {res['runs_random']}, "
+          f"final hv_error "
+          f"{[round(e, 4) for e in res['hv_final_random']]}")
+    print(f"copula  : runs-to-target {res['runs_warm']}, "
+          f"final hv_error "
+          f"{[round(e, 4) for e in res['hv_final_warm']]}")
+    print(f"tool-run ratio : {res['run_ratio']:.2f}x "
+          f"(target hv_error={res['target_hv_error']:.4f})")
+
+
+FULL = dict(n_source=120, n_pool=200, budget=18, repeats=5)
+SMOKE = dict(n_source=120, n_pool=200, budget=18, repeats=4)
+
+
+def test_warm_start_reaches_target_faster(benchmark):
+    res = benchmark.pedantic(
+        lambda: compare(**FULL), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _report("full", res)
+    assert res["run_ratio"] >= MIN_RUN_RATIO
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced repeats for CI (same >= 1.5x tool-run gate)",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=MIN_RUN_RATIO,
+        help="override the required tool-run ratio",
+    )
+    args = parser.parse_args()
+    from _util import write_bench_json
+
+    params = SMOKE if args.smoke else FULL
+    res = compare(**params)
+    _report("smoke" if args.smoke else "full", res)
+    passed = res["run_ratio"] >= args.min_ratio
+    payload = {k: v for k, v in res.items()
+               if not k.startswith("hv_curves")}
+    write_bench_json(
+        "copula",
+        {"gate": args.min_ratio, "passed": passed, **payload,
+         "hv_curves_random": res["hv_curves_random"],
+         "hv_curves_warm": res["hv_curves_warm"]},
+    )
+    if not passed:
+        print(f"FAIL: tool-run ratio {res['run_ratio']:.2f}x < "
+              f"required {args.min_ratio}x")
+        return 1
+    print(f"OK: warm start reaches the random arms' final hv_error in "
+          f"{res['run_ratio']:.2f}x fewer tool runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ __version__ = "1.1.0"
 #: submodule and may move between releases.
 __all__ = [
     "Aspdac20Fist",
+    "CopulaTransferTuner",
     "Dac19Recommender",
     "ExperimentRunner",
     "FaultInjectingOracle",
@@ -46,6 +47,7 @@ __all__ = [
     "FaultPolicy",
     "FlowOracle",
     "GPRegressor",
+    "GaussianCopula",
     "MetricsRegistry",
     "Mlcad19LcbBayesOpt",
     "NullRecorder",
@@ -65,10 +67,12 @@ __all__ = [
     "TraceRecorder",
     "TransferGP",
     "TransferKernel",
+    "Tuner",
     "TuningResult",
     "TuningService",
     "TuningSession",
     "adrs",
+    "copula_seed_indices",
     "hypervolume",
     "hypervolume_error",
     "pareto_front",
@@ -79,6 +83,7 @@ __all__ = [
 #: Public name -> defining submodule (PEP 562 lazy imports).
 _EXPORTS = {
     "Aspdac20Fist": "baselines",
+    "CopulaTransferTuner": "baselines",
     "Dac19Recommender": "baselines",
     "Mlcad19LcbBayesOpt": "baselines",
     "RandomSearchTuner": "baselines",
@@ -88,8 +93,11 @@ _EXPORTS = {
     "PPATuner": "core",
     "PPATunerConfig": "core",
     "PoolOracle": "core",
+    "Tuner": "core",
     "TuningResult": "core",
     "TuningSession": "core",
+    "GaussianCopula": "copula",
+    "copula_seed_indices": "copula",
     "RemoteTuner": "service",
     "ServiceClient": "service",
     "TuningService": "service",
@@ -118,17 +126,20 @@ _EXPORTS = {
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .baselines import (
         Aspdac20Fist,
+        CopulaTransferTuner,
         Dac19Recommender,
         Mlcad19LcbBayesOpt,
         RandomSearchTuner,
         Tcad19ActiveLearner,
     )
+    from .copula import GaussianCopula, copula_seed_indices
     from .core import (
         FlowOracle,
         Oracle,
         PPATuner,
         PPATunerConfig,
         PoolOracle,
+        Tuner,
         TuningResult,
         TuningSession,
     )

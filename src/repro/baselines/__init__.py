@@ -2,6 +2,7 @@
 
 from .aspdac20 import Aspdac20Fist
 from .base import PoolTuner
+from .copula_transfer import CopulaTransferTuner
 from .dac19 import Dac19Recommender
 from .mlcad19 import Mlcad19LcbBayesOpt
 from .random_search import RandomSearchTuner
@@ -9,6 +10,7 @@ from .tcad19 import Tcad19ActiveLearner
 
 __all__ = [
     "Aspdac20Fist",
+    "CopulaTransferTuner",
     "Dac19Recommender",
     "Mlcad19LcbBayesOpt",
     "PoolTuner",

@@ -89,13 +89,12 @@ class Aspdac20Fist(PoolTuner):
         total = imp.sum()
         return imp / total if total > 0 else np.full(d, 1.0 / d)
 
-    def tune(
+    def _tune(
         self,
         X_pool: np.ndarray,
         oracle: Oracle,
-        X_source: np.ndarray | None = None,
-        Y_source: np.ndarray | None = None,
-        init_indices: np.ndarray | None = None,
+        sources: list[tuple[np.ndarray, np.ndarray]],
+        init_indices: np.ndarray | None,
     ) -> TuningResult:
         """Run FIST's two phases."""
         rng = np.random.default_rng(self.seed)
@@ -104,6 +103,7 @@ class Aspdac20Fist(PoolTuner):
         m = oracle.n_objectives
         budget = min(self.budget, n)
 
+        X_source, Y_source = self._stack_sources(sources)
         importances = self._importances(Xn, X_source, Y_source, rng)
         top = np.argsort(-importances)[: self.top_features]
 
@@ -113,7 +113,10 @@ class Aspdac20Fist(PoolTuner):
         )
         n_explore = min(n_explore, budget - 1, n)
         if init_indices is not None:
-            evaluated = list(np.asarray(init_indices, dtype=int))
+            evaluated = [
+                int(i)
+                for i in self._validate_init_indices(n, init_indices)
+            ]
         else:
             evaluated = []
         # Greedy farthest-point coverage in the important-feature

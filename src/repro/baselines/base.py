@@ -1,15 +1,22 @@
 """Common interface for the reimplemented baseline tuners.
 
-All four prior-art methods (TCAD'19, MLCAD'19, DAC'19, ASPDAC'20) are
+All prior-art methods (TCAD'19, MLCAD'19, DAC'19, ASPDAC'20) are
 pool-based single-task tuners: they consume an evaluation budget over the
 target pool and report the non-dominated subset of what they evaluated.
-None of them uses source-task data — that contrast is the paper's point —
-but the interface accepts it so the experiment runner can call every tuner
-uniformly.
+Most of them ignore source-task data — that contrast is the paper's point
+— but the interface accepts it so the experiment runner can call every
+tuner uniformly.
+
+Transfer data arrives through the unified ``sources=[(X, y), ...]``
+keyword (the same shape :meth:`repro.gp.TransferGP.fit` takes); the old
+positional ``X_source``/``Y_source`` pair still works but emits a
+:class:`DeprecationWarning`.  Subclasses implement :meth:`PoolTuner._tune`
+and never see the legacy spelling.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -20,12 +27,12 @@ from ..pareto.dominance import pareto_indices
 
 
 class PoolTuner(ABC):
-    """Abstract pool-based tuner."""
+    """Abstract pool-based tuner (satisfies the
+    :class:`~repro.core.Tuner` protocol)."""
 
     #: Human-readable method name (used in reports).
     name: str = "base"
 
-    @abstractmethod
     def tune(
         self,
         X_pool: np.ndarray,
@@ -33,20 +40,87 @@ class PoolTuner(ABC):
         X_source: np.ndarray | None = None,
         Y_source: np.ndarray | None = None,
         init_indices: np.ndarray | None = None,
+        *,
+        sources: list[tuple[np.ndarray, np.ndarray]] | None = None,
     ) -> TuningResult:
         """Run the tuner over the candidate pool.
 
         Args:
             X_pool: ``(n, d)`` raw candidate features.
             oracle: Evaluation oracle aligned with the pool.
-            X_source: Historical features (ignored by non-transfer
-                methods).
-            Y_source: Historical objectives.
+            X_source: Deprecated — use ``sources``.  Historical features
+                (ignored by non-transfer methods).
+            Y_source: Deprecated — use ``sources``.  Historical
+                objectives.
             init_indices: Optional fixed initial evaluations.
+            sources: Historical tasks as ``(X_k, Y_k)`` pairs; mutually
+                exclusive with ``X_source``/``Y_source``.
 
         Returns:
             A :class:`TuningResult`.
+
+        Raises:
+            ValueError: If both source spellings are given, or
+                ``init_indices`` contains duplicates / out-of-range
+                entries.
         """
+        sources = self._resolve_sources(X_source, Y_source, sources)
+        return self._tune(X_pool, oracle, sources, init_indices)
+
+    @abstractmethod
+    def _tune(
+        self,
+        X_pool: np.ndarray,
+        oracle: Oracle,
+        sources: list[tuple[np.ndarray, np.ndarray]],
+        init_indices: np.ndarray | None,
+    ) -> TuningResult:
+        """Method-specific loop; ``sources`` is already normalized."""
+
+    @staticmethod
+    def _resolve_sources(
+        X_source: np.ndarray | None,
+        Y_source: np.ndarray | None,
+        sources: list[tuple[np.ndarray, np.ndarray]] | None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Normalize the two source spellings to a list of pairs."""
+        legacy = X_source is not None or Y_source is not None
+        if legacy and sources is not None:
+            raise ValueError(
+                "pass either X_source/Y_source or sources, not both"
+            )
+        if legacy:
+            warnings.warn(
+                "X_source/Y_source are deprecated; "
+                "pass sources=[(X, y), ...] instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if X_source is None or Y_source is None:
+                raise ValueError(
+                    "X_source and Y_source must be given together"
+                )
+            sources = [(X_source, Y_source)]
+        return list(sources) if sources else []
+
+    @staticmethod
+    def _stack_sources(
+        sources: list[tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Stack all archives into one ``(X, Y)`` pair (single-archive
+        consumers); ``(None, None)`` when there is no source data."""
+        pairs = [
+            (np.atleast_2d(np.asarray(X, float)),
+             np.atleast_2d(np.asarray(Y, float)))
+            for X, Y in sources
+        ]
+        pairs = [(X, Y) for X, Y in pairs if len(X)]
+        if not pairs:
+            return None, None
+        return (
+            np.vstack([X for X, _ in pairs]),
+            np.vstack([Y for _, Y in pairs]),
+        )
 
     @staticmethod
     def _normalize(X: np.ndarray) -> np.ndarray:
@@ -79,14 +153,40 @@ class PoolTuner(ABC):
         )
 
     @staticmethod
+    def _validate_init_indices(
+        n_pool: int, init_indices: np.ndarray
+    ) -> np.ndarray:
+        """Check explicit initial indices for range and uniqueness.
+
+        Raises:
+            ValueError: Naming the offending indices — a silently
+                clamped or double-evaluated seed corrupts budgets and
+                result bookkeeping far from the call site.
+        """
+        init = np.asarray(init_indices, dtype=int)
+        bad = init[(init < 0) | (init >= n_pool)]
+        if len(bad):
+            raise ValueError(
+                f"init_indices out of range [0, {n_pool}): "
+                f"{sorted(set(int(i) for i in bad))}"
+            )
+        values, counts = np.unique(init, return_counts=True)
+        dups = values[counts > 1]
+        if len(dups):
+            raise ValueError(
+                f"duplicate init_indices: {[int(i) for i in dups]}"
+            )
+        return init
+
+    @staticmethod
     def _initial_indices(
         n_pool: int,
         init_indices: np.ndarray | None,
         n_init: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Resolve the initial design (explicit or random)."""
+        """Resolve the initial design (explicit, validated, or random)."""
         if init_indices is not None:
-            return np.asarray(init_indices, dtype=int)
+            return PoolTuner._validate_init_indices(n_pool, init_indices)
         n_init = min(max(n_init, 2), n_pool)
         return rng.choice(n_pool, size=n_init, replace=False)

@@ -75,13 +75,12 @@ class Dac19Recommender(PoolTuner):
         out[:, -1] = 1.0
         return out
 
-    def tune(
+    def _tune(
         self,
         X_pool: np.ndarray,
         oracle: Oracle,
-        X_source: np.ndarray | None = None,
-        Y_source: np.ndarray | None = None,
-        init_indices: np.ndarray | None = None,
+        sources: list[tuple[np.ndarray, np.ndarray]],
+        init_indices: np.ndarray | None,
     ) -> TuningResult:
         """Run recommendation rounds until the budget is exhausted.
 
@@ -97,11 +96,8 @@ class Dac19Recommender(PoolTuner):
         n = len(Xn)
         m = oracle.n_objectives
 
-        has_archive = (
-            X_source is not None and Y_source is not None
-            and len(np.atleast_2d(X_source)) > 0
-        )
-        if has_archive:
+        X_source, Y_source = self._stack_sources(sources)
+        if X_source is not None:
             Xs = self._one_hot_bins(self._normalize(X_source))
             Ys = np.atleast_2d(np.asarray(Y_source, dtype=float))
             X_all = np.vstack([Xn, Xs])

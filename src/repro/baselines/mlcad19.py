@@ -56,13 +56,12 @@ class Mlcad19LcbBayesOpt(PoolTuner):
         self.refit_every = refit_every
         self.seed = seed
 
-    def tune(
+    def _tune(
         self,
         X_pool: np.ndarray,
         oracle: Oracle,
-        X_source: np.ndarray | None = None,
-        Y_source: np.ndarray | None = None,
-        init_indices: np.ndarray | None = None,
+        sources: list[tuple[np.ndarray, np.ndarray]],
+        init_indices: np.ndarray | None,
     ) -> TuningResult:
         """Run BO until the budget is exhausted.
 

@@ -25,20 +25,19 @@ class RandomSearchTuner(PoolTuner):
         self.budget = budget
         self.seed = seed
 
-    def tune(
+    def _tune(
         self,
         X_pool: np.ndarray,
         oracle: Oracle,
-        X_source: np.ndarray | None = None,
-        Y_source: np.ndarray | None = None,
-        init_indices: np.ndarray | None = None,
+        sources: list[tuple[np.ndarray, np.ndarray]],
+        init_indices: np.ndarray | None,
     ) -> TuningResult:
-        """Evaluate ``budget`` random candidates."""
+        """Evaluate ``budget`` random candidates (sources are ignored)."""
         rng = np.random.default_rng(self.seed)
         n = len(np.atleast_2d(X_pool))
         k = min(self.budget, n)
         if init_indices is not None:
-            init = np.asarray(init_indices, dtype=int)
+            init = self._validate_init_indices(n, init_indices)
             rest = np.setdiff1d(np.arange(n), init)
             extra = rng.choice(
                 rest, size=max(k - len(init), 0), replace=False

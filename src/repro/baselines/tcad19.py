@@ -58,15 +58,15 @@ class Tcad19ActiveLearner(PoolTuner):
         self.refit_every = refit_every
         self.seed = seed
 
-    def tune(
+    def _tune(
         self,
         X_pool: np.ndarray,
         oracle: Oracle,
-        X_source: np.ndarray | None = None,
-        Y_source: np.ndarray | None = None,
-        init_indices: np.ndarray | None = None,
+        sources: list[tuple[np.ndarray, np.ndarray]],
+        init_indices: np.ndarray | None,
     ) -> TuningResult:
-        """Run active learning until convergence or budget."""
+        """Run active learning until convergence or budget (sources are
+        ignored — single-task method)."""
         rng = np.random.default_rng(self.seed)
         Xn = self._normalize(X_pool)
         n = len(Xn)

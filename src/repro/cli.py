@@ -115,8 +115,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             source.n, min(args.n_source, source.n), replace=False
         )
         kwargs = {
-            "X_source": source.X[idx],
-            "Y_source": source.objectives(names)[idx],
+            "sources": [(
+                source.X[idx],
+                source.objectives(names)[idx],
+            )],
         }
 
     recorder = NULL_RECORDER
@@ -126,6 +128,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     config = PPATunerConfig(
         max_iterations=args.max_iterations, seed=args.seed,
         q=args.q, pool_refine_every=args.pool_refine_every,
+        warm_start=args.warm_start,
     )
     if policy is not None:
         import dataclasses
@@ -399,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-source", type=int, default=200)
     p.add_argument("--max-iterations", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--warm-start", choices=("random", "copula"),
+                   default="random",
+                   help="initial-design mode: copula seeds from the "
+                        "source archive (requires --source)")
     p.add_argument("--q", type=int, default=1,
                    help="evaluations per synchronous round (parallel "
                         "tool licenses); 1 keeps the paper's serial "

@@ -1,0 +1,34 @@
+"""Gaussian-copula transfer learning over (parameters, objectives).
+
+The copula family ("Transfer-Learning-Based Autotuning Using Gaussian
+Copula"; "A Copula approach for hyperparameter transfer learning")
+decouples *what is good* from *how it is scaled*: each column of the
+source records is rank-transformed through its empirical marginal into
+normal scores, a joint Gaussian is fitted in that latent space, and
+Gaussian conditioning answers "which parameters co-occur with
+top-quantile QoR".  Because only ranks matter, the fit needs no
+objective normalization, tolerates heavy-tailed QoR metrics, and is
+usable from a handful of source records — the few-shot cold-start
+regime where a GP transfer fit is still starved.
+
+Two consumers live on top of this package:
+
+- :class:`~repro.baselines.CopulaTransferTuner` — a standalone
+  few-shot baseline behind the unified tuner interface;
+- the ``warm_start="copula"`` option of
+  :class:`~repro.core.PPATunerConfig`, which replaces the random
+  ``init_fraction`` draw with :func:`copula_warm_start_indices` —
+  copula-anchored seeds blended with a uniform fill so the transfer
+  GPs keep global coverage.
+"""
+
+from .model import GaussianCopula
+from .transform import EmpiricalMarginal
+from .warm_start import copula_seed_indices, copula_warm_start_indices
+
+__all__ = [
+    "EmpiricalMarginal",
+    "GaussianCopula",
+    "copula_seed_indices",
+    "copula_warm_start_indices",
+]

@@ -7,7 +7,7 @@ from .oracle import CallableOracle, FlowOracle, Oracle, PoolOracle
 from .result import IterationRecord, TuningResult
 from .selection import select_batch, select_next, select_with_fallback
 from .session import EvaluationFailure, TuningSession, drive
-from .tuner import PPATuner
+from .tuner import PPATuner, Tuner
 from .uncertainty import UncertaintyRegions, prediction_rectangle
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "PPATuner",
     "PPATunerConfig",
     "PoolOracle",
+    "Tuner",
     "TuningResult",
     "TuningSession",
     "UncertaintyRegions",

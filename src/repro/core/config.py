@@ -103,6 +103,15 @@ class PPATunerConfig:
         init_fraction: Fraction of the target pool evaluated during
             initialization (the paper uses "no more than 5%").
         min_init: Lower bound on initial target evaluations.
+        warm_start: How the initial design is drawn when no explicit
+            ``init_indices`` are given.  ``"random"`` (default) is the
+            paper's uniform draw and is bit-identical to the
+            pre-warm-start trajectory; ``"copula"`` ranks pool
+            candidates through a Gaussian copula fitted on the source
+            archives and blends copula-anchored seeds with a uniform
+            fill (see :func:`repro.copula.copula_warm_start_indices`)
+            — the few-shot cold-start path.  With no source data the
+            copula option falls back to the random draw.
         fault_policy: How evaluation failures are retried, broken and
             quarantined (see :class:`~repro.reliability.FaultPolicy`).
             The default policy retries transients and quarantines
@@ -136,6 +145,7 @@ class PPATunerConfig:
     init_fraction: float = 0.02
     min_init: int = 5
     fault_policy: FaultPolicy | None = field(default_factory=FaultPolicy)
+    warm_start: str = "random"
 
     extra: dict = field(default_factory=dict)
 
@@ -171,6 +181,10 @@ class PPATunerConfig:
         if self.decision_backend not in ("vectorized", "reference"):
             raise ValueError(
                 "decision_backend must be 'vectorized' or 'reference'"
+            )
+        if self.warm_start not in ("random", "copula"):
+            raise ValueError(
+                "warm_start must be 'random' or 'copula'"
             )
         if isinstance(self.fault_policy, dict):
             self.fault_policy = FaultPolicy.from_json(self.fault_policy)
@@ -225,6 +239,7 @@ class PPATunerConfig:
                 None if self.fault_policy is None
                 else self.fault_policy.to_json()
             ),
+            "warm_start": self.warm_start,
             "extra": dict(self.extra),
         }
 

@@ -208,7 +208,19 @@ class TuningSession:
         if init_indices is None:
             n_init = max(cfg.min_init, int(round(n * cfg.init_fraction)))
             n_init = min(n_init, n)
-            init_indices = rng.choice(n, size=n_init, replace=False)
+            if cfg.warm_start == "copula" and source_list:
+                # Copula-ranked seeds blended with a uniform fill, both
+                # from SeedSequence-derived streams: the main generator
+                # is never consumed here, so the ``warm_start="random"``
+                # path below stays bit-identical to the pre-warm-start
+                # trajectory.
+                from ..copula.warm_start import copula_warm_start_indices
+
+                init_indices = copula_warm_start_indices(
+                    self.X_pool, source_list, n_init, seed=cfg.seed,
+                )
+            if init_indices is None:
+                init_indices = rng.choice(n, size=n_init, replace=False)
         self.init_indices = np.asarray(init_indices, dtype=int)
         self._rng_state = rng.bit_generator.state
 

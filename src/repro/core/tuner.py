@@ -31,7 +31,7 @@ which the run replays exactly.
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -65,6 +65,34 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
+@runtime_checkable
+class Tuner(Protocol):
+    """Structural contract every tuner satisfies (the tuner-side twin of
+    :class:`~repro.core.oracle.Oracle`).
+
+    A tuner is anything with a ``name`` and a ``tune`` accepting the
+    pool, an oracle, and the unified keyword surface — ``PPATuner``, the
+    :class:`~repro.baselines.PoolTuner` baselines,
+    :class:`~repro.service.RemoteTuner`, or any duck-typed object.
+    ``isinstance(obj, Tuner)`` checks the attributes exist (signatures
+    are the conformance tests' job, as with ``Oracle``).
+    """
+
+    #: Human-readable method name (reports, registries).
+    name: str
+
+    def tune(
+        self,
+        X_pool: np.ndarray,
+        oracle: "Oracle",
+        *,
+        sources: list[tuple[np.ndarray, np.ndarray]] | None = None,
+        init_indices: np.ndarray | None = None,
+    ) -> TuningResult:
+        """Run the tuner over the candidate pool."""
+        ...  # pragma: no cover - protocol stub
+
+
 class PPATuner:
     """Pareto-driven tool-parameter auto-tuner with GP transfer learning.
 
@@ -72,6 +100,10 @@ class PPATuner:
         >>> tuner = PPATuner(PPATunerConfig(max_iterations=100))
         >>> result = tuner.tune(X_pool, oracle, X_src, Y_src)  # doctest: +SKIP
     """
+
+    #: Method name under the :class:`Tuner` protocol (matches the
+    #: paper-table column and the method registry).
+    name = "PPATuner"
 
     def __init__(
         self,

@@ -34,6 +34,8 @@ from .scenarios import (
     build_scenario_jobs,
     evaluate_outcome,
     make_method,
+    register_method,
+    registered_methods,
     run_scenario,
     scenario_one,
     scenario_two,
@@ -65,6 +67,8 @@ __all__ = [
     "format_benchmark_table",
     "format_scenario_table",
     "make_method",
+    "register_method",
+    "registered_methods",
     "run_scenario",
     "scenario_one",
     "scenario_two",

@@ -79,8 +79,10 @@ def figure2_uncertainty_shrinkage(
         rng = np.random.default_rng(seed)
         idx = rng.choice(source.n, size=min(200, source.n), replace=False)
         kwargs = {
-            "X_source": source.X[idx],
-            "Y_source": source.objectives(objective_names)[idx],
+            "sources": [(
+                source.X[idx],
+                source.objectives(objective_names)[idx],
+            )],
         }
     result = tuner.tune(target.X, oracle, **kwargs)
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..baselines import (
     Aspdac20Fist,
+    CopulaTransferTuner,
     Dac19Recommender,
     Mlcad19LcbBayesOpt,
     RandomSearchTuner,
@@ -48,14 +49,16 @@ PAPER_BUDGET_FRACTIONS: dict[str, dict[str, float]] = {
     "DAC'19": {"target1": 600 / 5000, "target2": 131 / 727},
     "ASPDAC'20": {"target1": 400 / 5000, "target2": 70 / 727},
     "Random": {"target1": 400 / 5000, "target2": 70 / 727},
+    "CopulaTransfer": {"target1": 400 / 5000, "target2": 70 / 727},
 }
 
 #: Methods appearing in the paper's tables, in column order.
 PAPER_METHODS = ("TCAD'19", "MLCAD'19", "DAC'19", "ASPDAC'20", "PPATuner")
 
-#: Every runnable method: the paper's five plus the random-search floor
-#: and the no-transfer PPATuner ablation (extended comparisons).
-ALL_METHODS = PAPER_METHODS + ("Random", "PPATuner-NT")
+#: Every runnable method: the paper's five plus the random-search floor,
+#: the no-transfer PPATuner ablation, and the copula transfer baseline
+#: (extended comparisons).
+ALL_METHODS = PAPER_METHODS + ("Random", "PPATuner-NT", "CopulaTransfer")
 
 
 @dataclass
@@ -130,6 +133,37 @@ class ScenarioResult:
         }
 
 
+#: Method name -> tuner factory.  Factories take the keyword surface of
+#: :func:`make_method` (``budget``, ``pool_size``, ``seed``,
+#: ``ppa_config``, ``fault_policy``).
+_METHOD_REGISTRY: dict[str, "Callable[..., Tuner]"] = {}
+
+
+def register_method(name: str):
+    """Class/function decorator adding a tuner factory to the registry.
+
+    New tuners plug into the scenario matrix, convergence suite, and
+    CLI without touching the experiments package::
+
+        @register_method("MyMethod")
+        def _make_my_method(budget, pool_size, seed, ppa_config,
+                            fault_policy):
+            return MyTuner(budget=budget, seed=seed)
+
+    Re-registering a name replaces the previous factory (idempotent
+    module reloads; tests can shadow and restore entries).
+    """
+    def decorate(factory):
+        _METHOD_REGISTRY[name] = factory
+        return factory
+    return decorate
+
+
+def registered_methods() -> tuple[str, ...]:
+    """Registered method names, sorted."""
+    return tuple(sorted(_METHOD_REGISTRY))
+
+
 def make_method(
     name: str,
     budget: int,
@@ -138,10 +172,11 @@ def make_method(
     ppa_config: PPATunerConfig | None = None,
     fault_policy: FaultPolicy | None = None,
 ):
-    """Construct a tuner by its paper name.
+    """Construct a tuner by its registered method name.
 
     Args:
-        name: One of :data:`PAPER_METHODS` or ``"Random"``.
+        name: One of :func:`registered_methods` (:data:`ALL_METHODS`
+            ships by default).
         budget: Tool-run budget for fixed-budget methods.
         pool_size: Target pool size (bounds PPATuner's iteration cap).
         seed: RNG seed.
@@ -150,30 +185,71 @@ def make_method(
             config's (baselines handle faults at the oracle layer only).
 
     Raises:
-        ValueError: For an unknown method name.
+        ValueError: For an unknown method name, listing the registered
+            ones.
     """
-    if name == "TCAD'19":
-        return Tcad19ActiveLearner(budget=budget, seed=seed)
-    if name == "MLCAD'19":
-        return Mlcad19LcbBayesOpt(budget=budget, seed=seed)
-    if name == "DAC'19":
-        return Dac19Recommender(budget=budget, seed=seed)
-    if name == "ASPDAC'20":
-        return Aspdac20Fist(budget=budget, seed=seed)
-    if name == "Random":
-        return RandomSearchTuner(budget=budget, seed=seed)
-    if name in ("PPATuner", "PPATuner-NT"):
-        config = ppa_config or PPATunerConfig(
-            max_iterations=max(10, int(round(0.07 * pool_size))),
-            init_fraction=0.02,
-            seed=seed,
-        )
-        if name == "PPATuner-NT":
-            config = replace(config, transfer=False)
-        if fault_policy is not None:
-            config = replace(config, fault_policy=fault_policy)
-        return PPATuner(config)
-    raise ValueError(f"unknown method {name!r}")
+    try:
+        factory = _METHOD_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; registered methods: "
+            f"{', '.join(registered_methods())}"
+        ) from None
+    return factory(
+        budget=budget, pool_size=pool_size, seed=seed,
+        ppa_config=ppa_config, fault_policy=fault_policy,
+    )
+
+
+@register_method("TCAD'19")
+def _make_tcad19(budget, pool_size, seed, ppa_config, fault_policy):
+    return Tcad19ActiveLearner(budget=budget, seed=seed)
+
+
+@register_method("MLCAD'19")
+def _make_mlcad19(budget, pool_size, seed, ppa_config, fault_policy):
+    return Mlcad19LcbBayesOpt(budget=budget, seed=seed)
+
+
+@register_method("DAC'19")
+def _make_dac19(budget, pool_size, seed, ppa_config, fault_policy):
+    return Dac19Recommender(budget=budget, seed=seed)
+
+
+@register_method("ASPDAC'20")
+def _make_aspdac20(budget, pool_size, seed, ppa_config, fault_policy):
+    return Aspdac20Fist(budget=budget, seed=seed)
+
+
+@register_method("Random")
+def _make_random(budget, pool_size, seed, ppa_config, fault_policy):
+    return RandomSearchTuner(budget=budget, seed=seed)
+
+
+@register_method("CopulaTransfer")
+def _make_copula_transfer(budget, pool_size, seed, ppa_config,
+                          fault_policy):
+    return CopulaTransferTuner(budget=budget, seed=seed)
+
+
+@register_method("PPATuner")
+def _make_ppatuner(budget, pool_size, seed, ppa_config, fault_policy):
+    config = ppa_config or PPATunerConfig(
+        max_iterations=max(10, int(round(0.07 * pool_size))),
+        init_fraction=0.02,
+        seed=seed,
+    )
+    if fault_policy is not None:
+        config = replace(config, fault_policy=fault_policy)
+    return PPATuner(config)
+
+
+@register_method("PPATuner-NT")
+def _make_ppatuner_nt(budget, pool_size, seed, ppa_config, fault_policy):
+    tuner = _make_ppatuner(budget, pool_size, seed, ppa_config,
+                           fault_policy)
+    tuner.config = replace(tuner.config, transfer=False)
+    return tuner
 
 
 def evaluate_outcome(

@@ -192,7 +192,7 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
     oracle = _cell_oracle(spec, target.objectives(names))
     result = tuner.tune(
         target.X, oracle,
-        X_source=X_source, Y_source=Y_source,
+        sources=[(X_source, Y_source)],
         init_indices=init.copy(),
     )
     outcome = evaluate_outcome(
@@ -213,8 +213,10 @@ def _run_tune_cell(spec: RunSpec, source, target, ppa_config,
     if source is not None and spec.n_source > 0:
         src_idx = _source_subset(spec, source)
         kwargs = {
-            "X_source": source.X[src_idx],
-            "Y_source": source.objectives(names)[src_idx],
+            "sources": [(
+                source.X[src_idx],
+                source.objectives(names)[src_idx],
+            )],
         }
     config = ppa_config or PPATunerConfig(seed=spec.seed)
     tuner = PPATuner(config)
@@ -254,11 +256,11 @@ def _run_scenario_three_cell(spec: RunSpec, source, target, ppa_config,
     ]
 
     variant_kwargs: dict[str, dict] = {
-        "related-only": {"X_source": Xs, "Y_source": Ys},
+        "related-only": {"sources": [(Xs, Ys)]},
         "multi-source": {
             "sources": [(Xs, Ys), (Xs_decoy, Ys_decoy)],
         },
-        "decoy-only": {"X_source": Xs_decoy, "Y_source": Ys_decoy},
+        "decoy-only": {"sources": [(Xs_decoy, Ys_decoy)]},
         "no-transfer": {},
     }
     if spec.method not in variant_kwargs:
@@ -325,8 +327,10 @@ def _run_convergence_cell(spec: RunSpec, source, target, ppa_config,
     oracle = _cell_oracle(spec, target.objectives(names))
     result = tuner.tune(
         target.X, oracle,
-        X_source=source.X[src_idx],
-        Y_source=source.objectives(names)[src_idx],
+        sources=[(
+            source.X[src_idx],
+            source.objectives(names)[src_idx],
+        )],
         init_indices=init.copy(),
     )
     curve = convergence_curve(spec.method, result, target, names)

@@ -95,9 +95,15 @@ class ServiceClient:
         sources: list[tuple[np.ndarray, np.ndarray]] | None = None,
         init_indices: np.ndarray | None = None,
         max_evaluations: int | None = None,
+        warm_start: str | None = None,
         trace: bool = False,
     ) -> str:
-        """Create a server-side session; returns its id."""
+        """Create a server-side session; returns its id.
+
+        ``warm_start`` (``"random"``/``"copula"``) overrides the
+        config's initialization mode — the cold-start path for a new
+        session created with source archives but little target data.
+        """
         if isinstance(config, PPATunerConfig):
             config = config.to_json()
         payload: dict = {
@@ -128,6 +134,8 @@ class ServiceClient:
             payload["init_indices"] = [int(i) for i in init_indices]
         if max_evaluations is not None:
             payload["max_evaluations"] = int(max_evaluations)
+        if warm_start is not None:
+            payload["warm_start"] = str(warm_start)
         return self._request("POST", "/sessions", payload)["session_id"]
 
     def ask(self, session_id: str) -> dict:
@@ -228,6 +236,10 @@ class RemoteTuner:
             complete).  Disabled automatically when the oracle carries
             its own recorder.
     """
+
+    #: :class:`~repro.core.Tuner` protocol name (it drives the same
+    #: algorithm as the in-process PPATuner, remotely).
+    name = "PPATuner"
 
     def __init__(
         self,

@@ -34,6 +34,7 @@ trace events their oracle emits (tool evaluations, retries) with each
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import logging
 import threading
@@ -143,8 +144,10 @@ class TuningService:
         ``config`` (a :meth:`PPATunerConfig.to_json` dict), ``X_pool``,
         ``n_objectives``, optional ``X_source``/``Y_source`` or
         ``sources``, ``init_indices``, ``max_evaluations`` (loop-phase
-        tool-run budget) and ``trace`` (record a server-side JSONL
-        trace).
+        tool-run budget), ``warm_start`` (``"random"``/``"copula"``;
+        overrides the config so a cold-starting client can request
+        copula-seeded initialization without rebuilding its config) and
+        ``trace`` (record a server-side JSONL trace).
 
         Returns:
             ``{"session_id": ..., "status": {...}}``.
@@ -165,6 +168,11 @@ class TuningService:
             cfg_payload if isinstance(cfg_payload, PPATunerConfig)
             else PPATunerConfig.from_json(cfg_payload)
         )
+        warm_start = payload.get("warm_start")
+        if warm_start is not None:
+            config = dataclasses.replace(
+                config, warm_start=str(warm_start)
+            )
         X_pool = np.asarray(payload["X_pool"], dtype=float)
         n_objectives = int(payload["n_objectives"])
         sources = payload.get("sources")

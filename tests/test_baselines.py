@@ -7,6 +7,7 @@ import pytest
 
 from repro.baselines import (
     Aspdac20Fist,
+    CopulaTransferTuner,
     Dac19Recommender,
     Mlcad19LcbBayesOpt,
     RandomSearchTuner,
@@ -21,6 +22,7 @@ ALL_TUNERS = [
     Dac19Recommender,
     Aspdac20Fist,
     RandomSearchTuner,
+    CopulaTransferTuner,
 ]
 
 
@@ -96,7 +98,7 @@ class TestGuidedBeatRandom:
 
         guided = np.mean([
             err(cls(budget=budget, seed=s).tune(
-                X, PoolOracle(Y), X_source=Xs, Y_source=Ys
+                X, PoolOracle(Y), sources=[(Xs, Ys)]
             ))
             for s in (0, 1, 2)
         ])
@@ -130,7 +132,7 @@ class TestMethodSpecific:
     def test_dac_uses_archive(self, pool):
         X, Y, Xs, Ys = pool
         with_archive = Dac19Recommender(budget=25, seed=0).tune(
-            X, PoolOracle(Y), X_source=Xs, Y_source=Ys
+            X, PoolOracle(Y), sources=[(Xs, Ys)]
         )
         without = Dac19Recommender(budget=25, seed=0).tune(
             X, PoolOracle(Y)
