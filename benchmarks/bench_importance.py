@@ -1,0 +1,218 @@
+"""Knob-importance pruning benchmark: few-shot convergence on a
+cross-design transfer scenario.
+
+The scenario is the registry's MAC -> fabric pair: the source archive
+is the small MAC evaluated over the fabric knob set (``source3``), the
+target pool the structured-ASIC fabric (``fabric1``).  Two PPATuner
+arms run identically seeded sessions — one over the full 8-knob fabric
+space, one over the FIST-style pruned space (dead knobs dropped by
+source-table importance, exactly what ``--prune-space`` does in the
+CLI) — under a small tool-run cap, the few-shot regime pruning exists
+for.
+
+The gate is the ISSUE's acceptance criterion: at the hyper-volume error
+the full-space arms end at (mean over repeats), the pruned-space arms
+must get there in >= 1.3x fewer tool runs.
+
+Usage:
+    pytest benchmarks/bench_importance.py          # via pytest-benchmark
+    PYTHONPATH=src python benchmarks/bench_importance.py --smoke
+
+``--smoke`` is the CI tier: one fewer repeat, same pools and the same
+>= 1.3x tool-run gate.  Both tiers are fully deterministic — seeded
+tables, seeded sessions, a table-lookup oracle — so a pass is exact,
+not statistical.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.bench import generate_benchmark
+from repro.core import PPATunerConfig, PoolOracle, TuningSession
+from repro.ml import prune_space
+from repro.pareto import hypervolume_error, pareto_front
+
+#: Tool-run advantage the pruned-space arm must deliver (ISSUE gate).
+MIN_RUN_RATIO = 1.3
+
+#: Cross-design pair and objective space under test.
+SOURCE, TARGET = "source3", "fabric1"
+OBJECTIVES = ("power", "delay")
+
+
+#: Importance cutoff for the pruned arm (drops the four dead fabric
+#: knobs on the 300-point source table; see ``repro importance``).
+PRUNE_THRESHOLD = 0.08
+
+
+def _make_problem(n_source: int, n_pool: int):
+    """Source/target tables plus the pruned view of both."""
+    source = generate_benchmark(SOURCE, n_points=n_source, cache=False)
+    target = generate_benchmark(TARGET, n_points=n_pool, cache=False)
+    Y_src = source.objectives(OBJECTIVES)
+    Y_tgt = target.objectives(OBJECTIVES)
+    pruned = prune_space(
+        target.space, source.X, source.Y,
+        threshold=PRUNE_THRESHOLD, seed=0,
+    )
+    return {
+        "full": (source.X, Y_src, target.X, Y_tgt),
+        "pruned": (
+            pruned.slice(source.X), Y_src,
+            pruned.slice(target.X), Y_tgt,
+        ),
+        "golden": pareto_front(Y_tgt),
+        "dropped": list(pruned.dropped),
+    }
+
+
+def run_arm(
+    X_src: np.ndarray,
+    Y_src: np.ndarray,
+    X_tgt: np.ndarray,
+    Y_tgt: np.ndarray,
+    golden: np.ndarray,
+    seed: int,
+    budget: int,
+) -> list[float]:
+    """Drive one capped ask/tell session; best-so-far HV error per run."""
+    cfg = PPATunerConfig(
+        max_iterations=60, seed=seed, init_fraction=0.04,
+    )
+    session = TuningSession(
+        cfg, X_tgt, Y_tgt.shape[1], sources=[(X_src, Y_src)]
+    )
+    oracle = PoolOracle(Y_tgt)
+    rows: list[np.ndarray] = []
+    curve: list[float] = []
+    done = False
+    while not done:
+        pending = session.ask()
+        if not pending:
+            break
+        for idx in pending:
+            row = oracle.evaluate(int(idx))
+            rows.append(np.asarray(row))
+            session.tell(
+                int(idx), row, n_evaluations=oracle.n_evaluations
+            )
+            curve.append(
+                float(hypervolume_error(
+                    pareto_front(np.vstack(rows)), golden
+                ))
+            )
+            if len(curve) >= budget:
+                done = True
+                break
+    return curve
+
+
+def _runs_to(curve: list[float], target: float) -> int | None:
+    for i, err in enumerate(curve):
+        if err <= target + 1e-12:
+            return i + 1
+    return None
+
+
+def compare(*, n_source: int, n_pool: int, budget: int, repeats: int):
+    problem = _make_problem(n_source, n_pool)
+    golden = problem["golden"]
+    full_curves = [
+        run_arm(*problem["full"], golden, seed, budget)
+        for seed in range(repeats)
+    ]
+    pruned_curves = [
+        run_arm(*problem["pruned"], golden, seed, budget)
+        for seed in range(repeats)
+    ]
+    # Tool runs to the HV error the full-space arms end at (mean final
+    # over the repeats); an arm that never reaches it is charged the
+    # full budget.
+    target = float(np.mean([c[-1] for c in full_curves]))
+    runs_full = [_runs_to(c, target) or budget for c in full_curves]
+    runs_pruned = [_runs_to(c, target) or budget for c in pruned_curves]
+    return {
+        "n_source": n_source,
+        "n_pool": n_pool,
+        "budget": budget,
+        "repeats": repeats,
+        "pruned_knobs": problem["dropped"],
+        "target_hv_error": target,
+        "runs_full": runs_full,
+        "runs_pruned": runs_pruned,
+        "run_ratio": float(np.mean(runs_full) / np.mean(runs_pruned)),
+        "hv_final_full": [float(c[-1]) for c in full_curves],
+        "hv_final_pruned": [float(c[-1]) for c in pruned_curves],
+        "hv_curves_full": [[float(e) for e in c] for c in full_curves],
+        "hv_curves_pruned": [
+            [float(e) for e in c] for c in pruned_curves
+        ],
+    }
+
+
+def _report(tag: str, res: dict) -> None:
+    print(f"\n=== Knob-importance pruning ({tag}) ===")
+    print(f"pools   : {res['n_source']} source / {res['n_pool']} target, "
+          f"budget {res['budget']} tool runs x {res['repeats']} repeats")
+    print(f"pruned  : dropped {', '.join(res['pruned_knobs'])}")
+    print(f"full    : runs-to-target {res['runs_full']}, "
+          f"final hv_error "
+          f"{[round(e, 4) for e in res['hv_final_full']]}")
+    print(f"pruned  : runs-to-target {res['runs_pruned']}, "
+          f"final hv_error "
+          f"{[round(e, 4) for e in res['hv_final_pruned']]}")
+    print(f"tool-run ratio : {res['run_ratio']:.2f}x "
+          f"(target hv_error={res['target_hv_error']:.4f})")
+
+
+FULL = dict(n_source=300, n_pool=220, budget=30, repeats=5)
+SMOKE = dict(n_source=300, n_pool=220, budget=30, repeats=4)
+
+
+def test_pruned_space_reaches_target_faster(benchmark):
+    res = benchmark.pedantic(
+        lambda: compare(**FULL), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _report("full", res)
+    assert res["run_ratio"] >= MIN_RUN_RATIO
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced repeats for CI (same >= 1.3x tool-run gate)",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=MIN_RUN_RATIO,
+        help="override the required tool-run ratio",
+    )
+    args = parser.parse_args()
+    from _util import write_bench_json
+
+    params = SMOKE if args.smoke else FULL
+    res = compare(**params)
+    _report("smoke" if args.smoke else "full", res)
+    passed = res["run_ratio"] >= args.min_ratio
+    payload = {k: v for k, v in res.items()
+               if not k.startswith("hv_curves")}
+    write_bench_json(
+        "importance",
+        {"gate": args.min_ratio, "passed": passed, **payload,
+         "hv_curves_full": res["hv_curves_full"],
+         "hv_curves_pruned": res["hv_curves_pruned"]},
+    )
+    if not passed:
+        print(f"FAIL: tool-run ratio {res['run_ratio']:.2f}x < "
+              f"required {args.min_ratio}x")
+        return 1
+    print(f"OK: the pruned space reaches the full-space arms' final "
+          f"hv_error in {res['run_ratio']:.2f}x fewer tool runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

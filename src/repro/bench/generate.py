@@ -24,19 +24,16 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from ..pdtool.family import design_family, resolve_design
 from ..pdtool.flow import PDFlow
-from ..pdtool.mac import (
-    LARGE_MAC,
-    PAPER_LARGE_MAC,
-    PAPER_SMALL_MAC,
-    SMALL_MAC,
-    MacSpec,
-)
 from ..pdtool.params import ToolParameters
 from ..space.sampling import latin_hypercube
 from ..space.space import Configuration
 from .dataset import QOR_METRICS, BenchmarkDataset
-from .spaces import BENCHMARK_DESIGN, PAPER_POOL_SIZES, SPACES
+from .spaces import BENCHMARK_DESIGN, POOL_SIZES, SPACES
+
+# Re-exported for compatibility (PAPER_POOL_SIZES lived here first).
+from .spaces import PAPER_POOL_SIZES  # noqa: F401
 from .store import BenchmarkStore, default_cache_dir
 
 __all__ = [
@@ -44,6 +41,7 @@ __all__ = [
     "DESIGN_BASE_PARAMS",
     "cache_workers",
     "default_cache_dir",
+    "design_base_params",
     "design_spec",
     "evaluate_configs",
     "evaluate_configs_parallel",
@@ -59,19 +57,29 @@ log = logging.getLogger(__name__)
 CACHE_VERSION = 15
 
 #: Seed offsets so each benchmark gets an independent LHS draw.
-_BENCH_SEEDS = {"source1": 11, "target1": 13, "source2": 17, "target2": 19}
+_BENCH_SEEDS = {
+    "source1": 11, "target1": 13, "source2": 17, "target2": 19,
+    "source3": 23, "fabric1": 29, "fabric2": 31, "cpu1": 37, "cpu2": 41,
+}
 
 #: Below this pool size a cold build stays serial — the process-pool
 #: spin-up would cost more than it saves.
 _PARALLEL_MIN_POINTS = 512
 
-#: Fixed tool parameters per design for knobs the benchmark space does not
-#: tune.  The clock target must sit near each design's achievable speed or
-#: the timing-optimization knobs saturate (the larger MAC is a deeper,
-#: slower design).
+#: Fixed tool parameters per design for knobs the benchmark space does
+#: not tune (see :meth:`~repro.pdtool.family.DesignFamily.base_params`,
+#: the authoritative source).  Kept as a plain mapping — under both the
+#: legacy and canonical design names — because pre-registry callers
+#: index it directly.
 DESIGN_BASE_PARAMS: dict[str, dict[str, object]] = {
     "small": {},
     "large": {"freq": 450.0},
+    "mac_small": {},
+    "mac_large": {"freq": 450.0},
+    "fabric_small": {},
+    "fabric_large": {},
+    "cpu_small": {},
+    "cpu_large": {},
 }
 
 
@@ -94,23 +102,52 @@ def cache_workers() -> int:
     return env.workers()
 
 
-def design_spec(design: str) -> MacSpec:
-    """MAC spec for a benchmark design name at the active scale."""
-    if design == "small":
-        return PAPER_SMALL_MAC if full_scale() else SMALL_MAC
-    if design == "large":
-        return PAPER_LARGE_MAC if full_scale() else LARGE_MAC
-    raise ValueError(f"unknown design {design!r}")
+def design_spec(design: str) -> object:
+    """Spec dataclass for a benchmark design name at the active scale.
+
+    Dispatches through the design-family registry, so the return type
+    is the family's spec class — :class:`~repro.pdtool.mac.MacSpec`
+    for MAC designs, :class:`~repro.pdtool.fabric.FabricSpec` for
+    fabrics, and so on (it was documented as always-``MacSpec`` when
+    MACs were the only family).
+
+    Args:
+        design: Canonical family-prefixed design name
+            (``"mac_small"``, ``"fabric_large"``, ...).  The legacy
+            MAC shorthand ``"small"``/``"large"`` still resolves, with
+            a :class:`DeprecationWarning`.
+
+    Raises:
+        ValueError: For an unregistered design family; the message
+            reports the family token parsed from ``design`` and lists
+            every registered family.
+    """
+    design = resolve_design(design)
+    return design_family(design).spec(design, full=full_scale())
+
+
+def design_base_params(design: str) -> dict[str, object]:
+    """Fixed tool parameters for a design's untuned knobs.
+
+    Registry-backed replacement for indexing
+    :data:`DESIGN_BASE_PARAMS` directly; accepts legacy names.
+    """
+    design = resolve_design(design)
+    return design_family(design).base_params(design)
 
 
 _FLOW_CACHE: dict[str, PDFlow] = {}
 
 
 def get_flow(design: str) -> PDFlow:
-    """Process-cached :class:`PDFlow` for a design name."""
+    """Process-cached :class:`PDFlow` for a design name (any family)."""
+    design = resolve_design(design)
     key = f"{design}-{'full' if full_scale() else 'reduced'}"
     if key not in _FLOW_CACHE:
-        _FLOW_CACHE[key] = PDFlow.for_mac(design_spec(design))
+        family = design_family(design)
+        _FLOW_CACHE[key] = PDFlow(
+            family.netlist(design, full=full_scale())
+        )
     return _FLOW_CACHE[key]
 
 
@@ -160,9 +197,9 @@ def evaluate_configs_parallel(
     if the pool cannot be started.
 
     Args:
-        design: Design name (``"small"``/``"large"``) — each worker
-            rebuilds its flow from this, as :class:`PDFlow` need not be
-            picklable.
+        design: Canonical design name (``"mac_small"``, ``"cpu_large"``,
+            ...) — each worker rebuilds its flow from this, as
+            :class:`PDFlow` need not be picklable.
         configs: Tuned-parameter assignments.
         base_params: Fixed values for untuned knobs.
         n_workers: Worker count; defaults to :func:`cache_workers`.
@@ -202,7 +239,7 @@ def _build_benchmark(
     configs = latin_hypercube(space, n, seed=_BENCH_SEEDS[name])
     X = space.encode_many(configs)
     Y = evaluate_configs_parallel(
-        design, configs, DESIGN_BASE_PARAMS[design]
+        design, configs, design_base_params(design)
     )
     return configs, X, Y
 
@@ -220,9 +257,11 @@ def generate_benchmark(
     (the others block on an advisory lock, then load).
 
     Args:
-        name: ``"source1"``, ``"target1"``, ``"source2"`` or
-            ``"target2"``.
-        n_points: Pool size; defaults to the paper's (Table 1).
+        name: A benchmark name — the paper's four (``"source1"`` ...
+            ``"target2"``) or a cross-design table (``"source3"``,
+            ``"fabric1"``, ``"fabric2"``, ``"cpu1"``, ``"cpu2"``).
+        n_points: Pool size; defaults to the paper's (Table 1) or the
+            cross-design default.
         cache: Use the on-disk cache.
 
     Returns:
@@ -235,7 +274,7 @@ def generate_benchmark(
         raise ValueError(
             f"unknown benchmark {name!r}; choose from {sorted(SPACES)}"
         )
-    n = n_points if n_points is not None else PAPER_POOL_SIZES[name]
+    n = n_points if n_points is not None else POOL_SIZES[name]
     space = SPACES[name]()
     design = BENCHMARK_DESIGN[name]
     scale = "full" if full_scale() else "reduced"

@@ -1,10 +1,20 @@
-"""The four benchmark parameter spaces of paper Table 1, verbatim.
+"""Benchmark parameter spaces: paper Table 1 plus the cross-design set.
 
 Source1/Target1 tune 12 parameters of the small MAC design; Source2 tunes
 9 parameters of the same small MAC and Target2 the same 9 on the larger
 MAC.  Ranges are copied from Table 1 ("-" rows excluded per benchmark).
 The paper's ``max_density`` (placement bin cap) and ``max_Density`` (area
 utilization) are distinct knobs; see DESIGN.md §9 for the naming.
+
+The cross-design benchmarks (DESIGN.md §14) extend the matrix beyond
+the MAC family: the *fabric* knob set (placement/congestion-centric,
+8 knobs) is shared by Source3 (small MAC) and Fabric1 (structured-ASIC
+fabric) so MAC→fabric transfer sees identical columns over different
+response surfaces, and the *cpu* knob set (timing/DRV-centric, 9 knobs)
+is shared by Cpu1/Cpu2 (small→large CPU core, different ``freq`` ranges
+exactly as Table 1 varies ranges per benchmark) and Fabric2 (the fabric
+design over the cpu knobs — the negative-transfer control source).
+Frequency ranges bracket each design's measured achievable speed.
 """
 
 from __future__ import annotations
@@ -88,6 +98,62 @@ def target2_space() -> ParameterSpace:
     ))
 
 
+def _fabric_knob_space(freq_lo: float, freq_hi: float) -> ParameterSpace:
+    """The shared fabric knob set (8 placement/congestion knobs)."""
+    return ParameterSpace((
+        FloatParameter("freq", freq_lo, freq_hi),
+        EnumParameter("flow_effort", _FLOW_EFFORT),
+        EnumParameter("cong_effort", _CONG_EFFORT),
+        BoolParameter("uniform_density"),
+        FloatParameter("max_density_place", 0.65, 0.90),
+        FloatParameter("max_density_util", 0.50, 0.95),
+        FloatParameter("max_length", 120.0, 300.0),
+        FloatParameter("place_uncertainty", 20.0, 150.0),
+    ))
+
+
+def _cpu_knob_space(freq_lo: float, freq_hi: float) -> ParameterSpace:
+    """The shared cpu knob set (9 timing/DRV knobs)."""
+    return ParameterSpace((
+        FloatParameter("freq", freq_lo, freq_hi),
+        FloatParameter("place_uncertainty", 20.0, 150.0),
+        EnumParameter("flow_effort", _FLOW_EFFORT),
+        EnumParameter("timing_effort", _TIMING_EFFORT),
+        BoolParameter("clock_power_driven"),
+        FloatParameter("max_transition", 0.10, 0.35),
+        FloatParameter("max_capacitance", 0.05, 0.20),
+        IntParameter("max_fanout", 20, 50),
+        FloatParameter("max_allowed_delay", 0.00, 0.25),
+    ))
+
+
+def source3_space() -> ParameterSpace:
+    """Source3: the fabric knob set on the small MAC (its freq range)."""
+    return _fabric_knob_space(950.0, 1050.0)
+
+
+def fabric1_space() -> ParameterSpace:
+    """Fabric1: the fabric knob set on the small fabric (fast design)."""
+    return _fabric_knob_space(1500.0, 2100.0)
+
+
+def fabric2_space() -> ParameterSpace:
+    """Fabric2: the cpu knob set on the small fabric (negative-transfer
+    control source for fabric→CPU)."""
+    return _cpu_knob_space(1500.0, 2100.0)
+
+
+def cpu1_space() -> ParameterSpace:
+    """Cpu1: the cpu knob set on the small CPU core."""
+    return _cpu_knob_space(1000.0, 1350.0)
+
+
+def cpu2_space() -> ParameterSpace:
+    """Cpu2: the same 9 cpu knobs on the large CPU core (slower design,
+    lower freq range — same-knobs/different-ranges as Table 1)."""
+    return _cpu_knob_space(420.0, 570.0)
+
+
 #: Paper pool sizes per benchmark (Table 1 / Section 4.1).
 PAPER_POOL_SIZES = {
     "source1": 5000,
@@ -96,18 +162,42 @@ PAPER_POOL_SIZES = {
     "target2": 727,
 }
 
+#: Pool sizes of the cross-design benchmarks (chosen so cold builds
+#: stay in the tens of seconds at reduced scale, like the paper set).
+EXTRA_POOL_SIZES = {
+    "source3": 1200,
+    "fabric1": 900,
+    "fabric2": 900,
+    "cpu1": 900,
+    "cpu2": 800,
+}
+
+#: Default pool size per benchmark (paper tables keep paper sizes).
+POOL_SIZES = {**PAPER_POOL_SIZES, **EXTRA_POOL_SIZES}
+
 #: Space factory per benchmark name.
 SPACES = {
     "source1": source1_space,
     "target1": target1_space,
     "source2": source2_space,
     "target2": target2_space,
+    "source3": source3_space,
+    "fabric1": fabric1_space,
+    "fabric2": fabric2_space,
+    "cpu1": cpu1_space,
+    "cpu2": cpu2_space,
 }
 
-#: Which design each benchmark runs on ("small" or "large" MAC).
+#: Which design each benchmark runs on (canonical family-prefixed
+#: names; the design-family registry resolves them to specs).
 BENCHMARK_DESIGN = {
-    "source1": "small",
-    "target1": "small",
-    "source2": "small",
-    "target2": "large",
+    "source1": "mac_small",
+    "target1": "mac_small",
+    "source2": "mac_small",
+    "target2": "mac_large",
+    "source3": "mac_small",
+    "fabric1": "fabric_small",
+    "fabric2": "fabric_small",
+    "cpu1": "cpu_small",
+    "cpu2": "cpu_large",
 }

@@ -4,10 +4,14 @@ Commands:
 
 - ``generate``      build/refresh the offline benchmark tables
 - ``tune``          run PPATuner on one benchmark pair
-- ``scenario``      reproduce a paper table (Scenario One or Two)
+- ``scenario``      reproduce a paper table (``one``/``two``) or run a
+  cross-design transfer scenario (``mac_to_fabric``,
+  ``cpu_small_to_large``, ``fabric_to_cpu``)
 - ``experiments``   run the whole suite through the parallel runner
 - ``sensitivity``   parameter-sensitivity report for one benchmark
-- ``export``        write a generated MAC netlist as structural Verilog
+- ``importance``    FIST-style knob-importance ranking for one benchmark
+- ``export``        write a generated design netlist as structural
+  Verilog (any registered design family)
 - ``cache``         inspect/heal the benchmark cache (verify/clear/info)
 - ``trace``         inspect recorded tuning traces (show/summary/diff)
 
@@ -88,12 +92,12 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.pool_refine_every > 0:
         # Refined candidates are new configurations with no row in the
         # cached table — evaluate through the live flow instead.
-        from .bench.generate import DESIGN_BASE_PARAMS, get_flow
+        from .bench.generate import design_base_params, get_flow
         from .core import CallableOracle
         from .pdtool.params import ToolParameters
 
         flow = get_flow(target.design)
-        base = dict(DESIGN_BASE_PARAMS[target.design])
+        base = design_base_params(target.design)
         space = target.space
 
         def _run_flow(x: np.ndarray) -> np.ndarray:
@@ -179,9 +183,21 @@ def _parse_methods(raw: str | None) -> tuple[str, ...] | None:
     return methods
 
 
+def _prune_from_args(args: argparse.Namespace) -> dict | None:
+    """Pruning settings when ``--prune-space`` was given, else None."""
+    if not getattr(args, "prune_space", False):
+        return None
+    settings = {}
+    if getattr(args, "prune_threshold", None) is not None:
+        settings["threshold"] = args.prune_threshold
+    return settings
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from .experiments import (
+        CROSS_DESIGN_METHODS,
         PAPER_METHODS,
+        cross_design_scenario,
         export_scenario_csv,
         export_scenario_json,
         format_scenario_table,
@@ -189,17 +205,23 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         scenario_two,
     )
 
-    scenario = scenario_one if args.which == "one" else scenario_two
-    methods = _parse_methods(args.methods) or PAPER_METHODS
-    result = scenario(
+    common = dict(
         scale=args.scale,
         seed=args.seed,
-        methods=methods,
         repeats=args.repeats,
         runner=_experiment_runner(args),
         n_points=args.points,
         fault_policy=_fault_policy_from_args(args),
+        prune_space=_prune_from_args(args),
     )
+    if args.which in ("one", "two"):
+        scenario = scenario_one if args.which == "one" else scenario_two
+        methods = _parse_methods(args.methods) or PAPER_METHODS
+        result = scenario(methods=methods, **common)
+    else:
+        methods = _parse_methods(args.methods) or CROSS_DESIGN_METHODS
+        result = cross_design_scenario(args.which, methods=methods,
+                                       **common)
     print(format_scenario_table(result, methods=methods))
     if args.json:
         export_scenario_json(result, args.json)
@@ -281,11 +303,52 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_export(args: argparse.Namespace) -> int:
-    from .bench.generate import design_spec
-    from .pdtool import generate_mac_netlist, write_verilog
+def _cmd_importance(args: argparse.Namespace) -> int:
+    from .bench import generate_benchmark
+    from .ml import prune_space
 
-    netlist = generate_mac_netlist(design_spec(args.design))
+    dataset = generate_benchmark(args.benchmark, n_points=args.points)
+    pruned = prune_space(
+        dataset.space, dataset.X, dataset.Y,
+        threshold=args.threshold, min_keep=args.min_keep,
+        method=args.method, seed=args.seed,
+    )
+    print(pruned.report.format())
+    print(f"\nkeep ({len(pruned.kept)}): {', '.join(pruned.kept)}")
+    if pruned.dropped:
+        print(f"prune ({len(pruned.dropped)}): "
+              f"{', '.join(pruned.dropped)}")
+    else:
+        print("prune (0): none below threshold")
+    if args.json:
+        import json
+
+        payload = {
+            "benchmark": args.benchmark,
+            "method": pruned.report.method,
+            "threshold": pruned.threshold,
+            "importances": {
+                n: float(v) for n, v in pruned.report.ranked()
+            },
+            "kept": list(pruned.kept),
+            "dropped": list(pruned.dropped),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import warnings
+
+    from .pdtool import design_family, resolve_design, write_verilog
+
+    with warnings.catch_warnings():
+        # Legacy "small"/"large" stay accepted here without noise.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        design = resolve_design(args.design)
+    netlist = design_family(design).netlist(design)
     write_verilog(netlist, args.output)
     print(f"wrote {args.output} ({netlist.n_cells} cells, "
           f"{netlist.n_primary_inputs} inputs)")
@@ -381,19 +444,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    benchmarks = (
+        "source1", "target1", "source2", "target2",
+        "source3", "fabric1", "fabric2", "cpu1", "cpu2",
+    )
+
     p = sub.add_parser("generate", help="build offline benchmark tables")
-    p.add_argument("benchmark", choices=(
-        "all", "source1", "target1", "source2", "target2",
-    ))
+    p.add_argument("benchmark", choices=("all",) + benchmarks)
     p.add_argument("--points", type=int, default=None,
                    help="pool size override")
     p.add_argument("--no-cache", action="store_true")
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("tune", help="run PPATuner on a benchmark")
-    p.add_argument("target", choices=("target1", "target2"))
-    p.add_argument("--source", choices=("source1", "source2"),
-                   default=None)
+    p.add_argument("target", choices=benchmarks)
+    p.add_argument("--source", choices=benchmarks, default=None)
     p.add_argument("--objectives", default="power-delay", choices=(
         "area-delay", "power-delay", "area-power-delay",
     ))
@@ -472,13 +537,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-evaluation timeout (default: none)")
 
     p = sub.add_parser(
-        "scenario", help="reproduce a paper table",
-        description="Cells fan out over --workers processes; completed "
+        "scenario",
+        help="reproduce a paper table or a cross-design scenario",
+        description="one/two reproduce the paper tables; the named "
+                    "scenarios transfer across design families "
+                    "(MAC->fabric, small->large CPU, and the "
+                    "fabric->CPU negative-transfer control).  Cells "
+                    "fan out over --workers processes; completed "
                     "cells are memoized under .cache/runs so an "
                     "interrupted run resumes where it stopped.",
     )
-    p.add_argument("which", choices=("one", "two"))
+    p.add_argument("which", choices=(
+        "one", "two",
+        "mac_to_fabric", "cpu_small_to_large", "fabric_to_cpu",
+    ))
     add_runner_args(p)
+    p.add_argument("--prune-space", action="store_true",
+                   help="prune dead knobs from the tuning space via "
+                        "source-table importance before every cell "
+                        "(changes memo keys when set)")
+    p.add_argument("--prune-threshold", type=float, default=None,
+                   metavar="FRACTION",
+                   help="importance cutoff for --prune-space "
+                        "(default 0.05)")
     p.add_argument("--json", default=None, help="export records to JSON")
     p.add_argument("--csv", default=None, help="export records to CSV")
     p.set_defaults(func=_cmd_scenario)
@@ -496,14 +577,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sensitivity",
                        help="parameter-sensitivity report")
-    p.add_argument("benchmark", choices=(
-        "source1", "target1", "source2", "target2",
-    ))
+    p.add_argument("benchmark", choices=benchmarks)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_sensitivity)
 
-    p = sub.add_parser("export", help="write a MAC design as Verilog")
-    p.add_argument("design", choices=("small", "large"))
+    p = sub.add_parser(
+        "importance",
+        help="FIST-style knob-importance ranking for a benchmark",
+        description="Ranks the benchmark's knobs by how much QoR "
+                    "response they explain on its golden table and "
+                    "shows which ones --prune-space would drop.",
+    )
+    p.add_argument("benchmark", choices=benchmarks)
+    p.add_argument("--points", type=int, default=None,
+                   help="pool size override")
+    p.add_argument("--method", choices=("tree", "permutation"),
+                   default="tree")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="importance cutoff (fraction of total)")
+    p.add_argument("--min-keep", type=int, default=2,
+                   help="always keep at least this many knobs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default=None,
+                   help="write the ranking to a JSON file")
+    p.set_defaults(func=_cmd_importance)
+
+    p = sub.add_parser("export",
+                       help="write a generated design as Verilog")
+    p.add_argument("design", choices=(
+        "mac_small", "mac_large", "fir_small", "fir_large",
+        "alu_small", "alu_large", "fabric_small", "fabric_large",
+        "cpu_small", "cpu_large",
+        # Legacy aliases for the original MAC pair.
+        "small", "large",
+    ))
     p.add_argument("output")
     p.set_defaults(func=_cmd_export)
 

@@ -1,5 +1,10 @@
 """Experiment harness: scenario runners, figures, paper-style reports."""
 
+from .cross_design import (
+    CROSS_DESIGN_METHODS,
+    CROSS_DESIGN_SCENARIOS,
+    cross_design_scenario,
+)
 from .convergence import (
     ConvergenceCurve,
     convergence_curve,
@@ -43,6 +48,9 @@ from .scenarios import (
 
 __all__ = [
     "ALL_METHODS",
+    "CROSS_DESIGN_METHODS",
+    "CROSS_DESIGN_SCENARIOS",
+    "cross_design_scenario",
     "SCENARIO_THREE_VARIANTS",
     "ScenarioThreeOutcome",
     "build_scenario_jobs",

@@ -294,6 +294,7 @@ def build_scenario_jobs(
     source_ref: "DatasetRef | None" = None,
     target_ref: "DatasetRef | None" = None,
     fault_policy: FaultPolicy | None = None,
+    prune_space: "bool | dict | None" = None,
 ) -> "list[RunJob]":
     """Expand one scenario into its independent cell jobs.
 
@@ -305,7 +306,12 @@ def build_scenario_jobs(
     An explicit ``fault_policy`` rides along as a spec param (it governs
     the per-cell :class:`~repro.reliability.ResilientOracle`); ``None``
     is dropped from the params, so default spec hashes — and therefore
-    existing memo entries — are unchanged.
+    existing memo entries — are unchanged.  The same holds for
+    ``prune_space``: ``True`` (defaults) or a settings dict (keyword
+    overrides for :func:`repro.ml.prune_space`, e.g.
+    ``{"threshold": 0.08}``) enables the FIST-style knob-importance
+    pruning pass inside every cell; ``None``/``False`` keeps pruning
+    off and spec hashes unchanged.
     """
     from ..runner import (
         RunJob,
@@ -317,9 +323,17 @@ def build_scenario_jobs(
 
     spaces = objective_spaces or OBJECTIVE_SPACES
     fingerprint = config_fingerprint(ppa_config)
+    if prune_space is True:
+        prune_space = {}
+    elif prune_space is False:
+        prune_space = None
     params = make_params(
         fault_policy=(
             fault_policy.to_json() if fault_policy is not None else None
+        ),
+        prune_space=(
+            dict(sorted(prune_space.items()))
+            if prune_space is not None else None
         ),
     )
     source_id = source_ref.label if source_ref else dataset_id(source)
@@ -368,6 +382,7 @@ def run_scenario(
     source_ref: "DatasetRef | None" = None,
     target_ref: "DatasetRef | None" = None,
     fault_policy: FaultPolicy | None = None,
+    prune_space: "bool | dict | None" = None,
 ) -> ScenarioResult:
     """Run every (method, objective-space) combination of one scenario.
 
@@ -398,6 +413,11 @@ def run_scenario(
         fault_policy: Explicit per-evaluation resilience policy (retry /
             timeout / breaker limits); ``None`` keeps the defaults and
             existing memo keys.
+        prune_space: Opt-in FIST-style knob-importance pruning —
+            ``True`` for defaults or a settings dict (see
+            :func:`repro.ml.prune_space`); cells then tune over the
+            source-table-informed knob subset.  ``None`` keeps pruning
+            off and existing memo keys.
 
     Returns:
         A :class:`ScenarioResult`.
@@ -409,7 +429,7 @@ def run_scenario(
         methods=methods, objective_spaces=objective_spaces,
         n_source=n_source, seed=seed, ppa_config=ppa_config,
         repeats=repeats, source_ref=source_ref, target_ref=target_ref,
-        fault_policy=fault_policy,
+        fault_policy=fault_policy, prune_space=prune_space,
     )
     if runner is None:
         runner = ExperimentRunner(workers=workers, memo=None)
@@ -436,6 +456,7 @@ def _paper_scenario(
     runner,
     n_points: int | None,
     fault_policy: FaultPolicy | None = None,
+    prune_space: "bool | dict | None" = None,
 ) -> ScenarioResult:
     """Shared driver for the two paper scenarios (cache-ref fan-out)."""
     from ..runner import DatasetRef
@@ -449,7 +470,7 @@ def _paper_scenario(
         source_ref.resolve(), target_ref.resolve(), which, budget_key,
         methods=methods, seed=seed, workers=workers, repeats=repeats,
         runner=runner, source_ref=source_ref, target_ref=target_ref,
-        fault_policy=fault_policy,
+        fault_policy=fault_policy, prune_space=prune_space,
     )
 
 
@@ -462,6 +483,7 @@ def scenario_one(
     runner: "ExperimentRunner | None" = None,
     n_points: int | None = None,
     fault_policy: FaultPolicy | None = None,
+    prune_space: "bool | dict | None" = None,
 ) -> ScenarioResult:
     """Paper Table 2: Source1 -> Target1 (same design).
 
@@ -476,11 +498,13 @@ def scenario_one(
             ``workers``.
         n_points: Pool-size override for both benchmarks.
         fault_policy: Explicit per-evaluation resilience policy.
+        prune_space: Opt-in knob-importance pruning (see
+            :func:`run_scenario`).
     """
     return _paper_scenario(
         "scenario_one", "source1", "target1", "target1",
         scale, seed, methods, workers, repeats, runner, n_points,
-        fault_policy=fault_policy,
+        fault_policy=fault_policy, prune_space=prune_space,
     )
 
 
@@ -493,6 +517,7 @@ def scenario_two(
     runner: "ExperimentRunner | None" = None,
     n_points: int | None = None,
     fault_policy: FaultPolicy | None = None,
+    prune_space: "bool | dict | None" = None,
 ) -> ScenarioResult:
     """Paper Table 3: Source2 -> Target2 (similar designs).
 
@@ -506,9 +531,11 @@ def scenario_two(
             ``workers``.
         n_points: Pool-size override for both benchmarks.
         fault_policy: Explicit per-evaluation resilience policy.
+        prune_space: Opt-in knob-importance pruning (see
+            :func:`run_scenario`).
     """
     return _paper_scenario(
         "scenario_two", "source2", "target2", "target2",
         scale, seed, methods, workers, repeats, runner, n_points,
-        fault_policy=fault_policy,
+        fault_policy=fault_policy, prune_space=prune_space,
     )

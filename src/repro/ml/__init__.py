@@ -1,12 +1,23 @@
-"""Small ML substrate (trees, boosting, matrix factorization) built from
-scratch for the reimplemented baselines."""
+"""Small ML substrate (trees, boosting, matrix factorization, knob
+importance) built from scratch for the reimplemented baselines and the
+FIST-style space pruning pass."""
 
 from .boosting import GradientBoostingRegressor
 from .factorization import FeatureALS
+from .importance import (
+    ImportanceReport,
+    PrunedSpace,
+    knob_importance,
+    prune_space,
+)
 from .tree import RegressionTree
 
 __all__ = [
     "FeatureALS",
     "GradientBoostingRegressor",
+    "ImportanceReport",
+    "PrunedSpace",
     "RegressionTree",
+    "knob_importance",
+    "prune_space",
 ]

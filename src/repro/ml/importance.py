@@ -1,0 +1,296 @@
+"""FIST-style knob-importance analysis and parameter-space pruning.
+
+When parameter spaces diverge across designs, a standard companion move
+to transfer (ASPDAC'20 FIST, see PAPERS.md) is to rank knobs by how
+much of the QoR response they explain on *prior* data — a golden table
+from an already-characterized design — and drop the dead ones before
+tuning the new design.  A pruned space shrinks the surrogate's input
+dimensionality, so the GP needs fewer tool runs to localize the Pareto
+front; the pool itself is untouched (tuning still selects full
+configurations), only the feature columns the models see change.
+
+Two estimators over a golden table ``(X, Y)``:
+
+- ``"tree"`` — a bootstrapped ensemble of randomized
+  :class:`~repro.ml.tree.RegressionTree` learners per metric,
+  averaging impurity-based importances (FIST's choice).
+- ``"permutation"`` — a :class:`~repro.ml.GradientBoostingRegressor`
+  per metric on a train half, scoring each column by the validation-MSE
+  increase when that column is shuffled (model-agnostic).
+
+Per-metric importances are normalized to sum to one and aggregated by
+the *maximum* across metrics, so a knob that only matters for one
+objective is still kept — pruning must be conservative, since dropping
+a live knob biases every downstream front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..space.space import ParameterSpace
+from .boosting import GradientBoostingRegressor
+from .tree import RegressionTree
+
+__all__ = [
+    "ImportanceReport",
+    "PrunedSpace",
+    "knob_importance",
+    "prune_space",
+]
+
+#: Golden-table metric names, in column order (mirrors bench.dataset).
+_DEFAULT_METRICS = ("area", "power", "delay")
+
+
+@dataclass(frozen=True)
+class ImportanceReport:
+    """Knob-importance estimates over one golden table.
+
+    Attributes:
+        names: Knob names, in feature-column order.
+        importances: ``(d,)`` aggregated importances, normalized to
+            sum to one.
+        per_metric: ``(n_metrics, d)`` per-metric normalized
+            importances.
+        metrics: Metric names, matching ``per_metric`` rows.
+        method: Estimator used (``"tree"`` or ``"permutation"``).
+    """
+
+    names: tuple[str, ...]
+    importances: np.ndarray
+    per_metric: np.ndarray
+    metrics: tuple[str, ...]
+    method: str
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """(name, importance) pairs, most important first."""
+        order = np.argsort(self.importances)[::-1]
+        return [
+            (self.names[i], float(self.importances[i])) for i in order
+        ]
+
+    def format(self) -> str:
+        """Fixed-width table of the ranking, with per-metric columns."""
+        width = max(len(n) for n in self.names)
+        header = f"{'knob':<{width}}  {'agg':>7}  " + "  ".join(
+            f"{m:>7}" for m in self.metrics
+        )
+        lines = [header, "-" * len(header)]
+        for name, agg in self.ranked():
+            col = self.names.index(name)
+            cells = "  ".join(
+                f"{self.per_metric[m, col]:7.4f}"
+                for m in range(len(self.metrics))
+            )
+            lines.append(f"{name:<{width}}  {agg:7.4f}  {cells}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PrunedSpace:
+    """A parameter space restricted to its informative knobs.
+
+    Attributes:
+        space: The pruned :class:`ParameterSpace` (kept knobs, in
+            their original column order).
+        kept: Names of the surviving knobs.
+        dropped: Names of the pruned knobs.
+        indices: Feature-column indices of the kept knobs in the
+            *original* space (use :meth:`slice`).
+        report: The :class:`ImportanceReport` the decision came from.
+        threshold: The importance cutoff applied.
+    """
+
+    space: ParameterSpace
+    kept: tuple[str, ...]
+    dropped: tuple[str, ...]
+    indices: tuple[int, ...]
+    report: ImportanceReport
+    threshold: float
+
+    def slice(self, X: np.ndarray) -> np.ndarray:
+        """Restrict a feature matrix to the kept columns."""
+        return np.ascontiguousarray(
+            np.atleast_2d(X)[:, list(self.indices)]
+        )
+
+
+def _tree_importance(
+    X: np.ndarray, y: np.ndarray, seed: int, n_trees: int
+) -> np.ndarray:
+    """Bootstrapped randomized-tree ensemble importances for one metric."""
+    rng = np.random.default_rng(seed)
+    d = X.shape[1]
+    max_features = max(2, int(round(np.sqrt(d))))
+    total = np.zeros(d)
+    for t in range(n_trees):
+        rows = rng.choice(len(X), size=len(X), replace=True)
+        tree = RegressionTree(
+            max_depth=6,
+            min_samples_leaf=3,
+            max_features=max_features,
+            seed=int(rng.integers(2**31)),
+        ).fit(X[rows], y[rows])
+        total += tree.feature_importances_
+    return total / n_trees
+
+
+def _permutation_importance(
+    X: np.ndarray, y: np.ndarray, seed: int
+) -> np.ndarray:
+    """Shuffled-column validation-MSE increase for one metric."""
+    rng = np.random.default_rng(seed)
+    n = len(X)
+    perm = rng.permutation(n)
+    half = max(8, n // 2)
+    train, val = perm[:half], perm[half:]
+    if len(val) < 4:  # tiny tables: validate in-sample
+        train = val = perm
+    model = GradientBoostingRegressor(
+        n_estimators=60, max_depth=3, seed=seed
+    ).fit(X[train], y[train])
+    base = float(np.mean((model.predict(X[val]) - y[val]) ** 2))
+    out = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        X_perm = X[val].copy()
+        X_perm[:, j] = X_perm[rng.permutation(len(val)), j]
+        mse = float(np.mean((model.predict(X_perm) - y[val]) ** 2))
+        out[j] = max(0.0, mse - base)
+    return out
+
+
+def knob_importance(
+    X: np.ndarray,
+    Y: np.ndarray,
+    names: tuple[str, ...] | list[str],
+    method: str = "tree",
+    seed: int = 0,
+    n_trees: int = 24,
+    metrics: tuple[str, ...] | None = None,
+) -> ImportanceReport:
+    """Estimate per-knob importances over a golden table.
+
+    Args:
+        X: ``(n, d)`` encoded feature matrix (column order = ``names``).
+        Y: ``(n,)`` or ``(n, m)`` golden metric matrix.
+        names: Knob names, one per feature column.
+        method: ``"tree"`` or ``"permutation"``.
+        seed: RNG seed (deterministic per seed).
+        n_trees: Ensemble size for the tree estimator.
+        metrics: Metric names for the report; defaults to
+            area/power/delay (or ``("y",)`` for a single column).
+
+    Raises:
+        ValueError: On shape mismatch or an unknown method.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    Y = np.asarray(Y, dtype=float)
+    if Y.ndim == 1:
+        Y = Y[:, None]
+    if len(X) != len(Y):
+        raise ValueError("X/Y must be aligned")
+    if X.shape[1] != len(names):
+        raise ValueError(
+            f"{len(names)} names for {X.shape[1]} feature columns"
+        )
+    if metrics is None:
+        metrics = (
+            _DEFAULT_METRICS if Y.shape[1] == len(_DEFAULT_METRICS)
+            else tuple(f"y{i}" for i in range(Y.shape[1]))
+        )
+    if method == "tree":
+        rows = [
+            _tree_importance(X, Y[:, m], seed + 1000 * m, n_trees)
+            for m in range(Y.shape[1])
+        ]
+    elif method == "permutation":
+        rows = [
+            _permutation_importance(X, Y[:, m], seed + 1000 * m)
+            for m in range(Y.shape[1])
+        ]
+    else:
+        raise ValueError(
+            f"unknown importance method {method!r}; "
+            "choose 'tree' or 'permutation'"
+        )
+    per_metric = np.array(rows)
+    sums = per_metric.sum(axis=1, keepdims=True)
+    per_metric = np.where(sums > 0, per_metric / np.where(
+        sums > 0, sums, 1.0
+    ), 1.0 / per_metric.shape[1])
+    agg = per_metric.max(axis=0)
+    agg = agg / agg.sum()
+    return ImportanceReport(
+        names=tuple(names),
+        importances=agg,
+        per_metric=per_metric,
+        metrics=tuple(metrics),
+        method=method,
+    )
+
+
+def prune_space(
+    space: ParameterSpace,
+    X: np.ndarray,
+    Y: np.ndarray,
+    threshold: float = 0.05,
+    min_keep: int = 2,
+    method: str = "tree",
+    seed: int = 0,
+    n_trees: int = 24,
+) -> PrunedSpace:
+    """Drop dead knobs from ``space`` based on a golden table.
+
+    A knob survives when its aggregated importance reaches
+    ``threshold`` (as a fraction of the total); at least ``min_keep``
+    knobs are always retained (the most important ones), so a flat
+    importance profile degrades to no-op pruning rather than an empty
+    space.
+
+    Args:
+        space: The space whose columns ``X`` encodes.
+        X: ``(n, d)`` golden feature matrix (prior design's table).
+        Y: ``(n,)`` or ``(n, m)`` golden metrics.
+        threshold: Minimum aggregated importance to keep a knob.
+        min_keep: Lower bound on surviving knobs.
+        method: Importance estimator (``"tree"``/``"permutation"``).
+        seed: RNG seed.
+        n_trees: Ensemble size for the tree estimator.
+
+    Raises:
+        ValueError: If ``X`` has a different column count than
+            ``space.dim``.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    if X.shape[1] != space.dim:
+        raise ValueError(
+            f"X has {X.shape[1]} columns for a {space.dim}-knob space"
+        )
+    report = knob_importance(
+        X, Y, space.names, method=method, seed=seed, n_trees=n_trees
+    )
+    keep = report.importances >= threshold
+    if keep.sum() < min_keep:
+        top = np.argsort(report.importances)[::-1][:min_keep]
+        keep = np.zeros(space.dim, dtype=bool)
+        keep[top] = True
+    indices = tuple(int(i) for i in np.flatnonzero(keep))
+    kept = tuple(space.names[i] for i in indices)
+    dropped = tuple(
+        n for i, n in enumerate(space.names) if i not in indices
+    )
+    pruned = (
+        space if not dropped
+        else ParameterSpace(tuple(space.parameters[i] for i in indices))
+    )
+    return PrunedSpace(
+        space=pruned,
+        kept=kept,
+        dropped=dropped,
+        indices=indices,
+        report=report,
+        threshold=threshold,
+    )

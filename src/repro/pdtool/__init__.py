@@ -4,7 +4,12 @@ See DESIGN.md §2 for the substitution rationale.  Public surface:
 
 - :class:`ToolParameters` — the Table 1 knobs.
 - :class:`PDFlow` — parameter configuration in, :class:`QoRReport` out.
-- :func:`generate_mac_netlist` / :class:`MacSpec` — the benchmark designs.
+- :class:`DesignFamily` / :func:`design_family` /
+  :func:`register_design_family` — the design-family registry
+  (DESIGN.md §14) unifying spec → netlist → parameter space for every
+  family.
+- :func:`generate_mac_netlist` / :class:`MacSpec` (and the FIR, ALU,
+  fabric and CPU equivalents) — the benchmark design generators.
 """
 
 from .cts import CtsResult, synthesize_clock_tree
@@ -38,6 +43,32 @@ from .designs import (
     generate_alu_netlist,
     generate_fir_netlist,
 )
+from .fabric import (
+    LARGE_FABRIC,
+    PAPER_LARGE_FABRIC,
+    PAPER_SMALL_FABRIC,
+    SMALL_FABRIC,
+    FabricSpec,
+    estimate_fabric_cell_count,
+    generate_fabric_netlist,
+)
+from .cpu import (
+    LARGE_CPU,
+    PAPER_LARGE_CPU,
+    PAPER_SMALL_CPU,
+    SMALL_CPU,
+    CpuSpec,
+    estimate_cpu_cell_count,
+    generate_cpu_netlist,
+)
+from .family import (
+    DesignFamily,
+    design_family,
+    family_token,
+    register_design_family,
+    registered_design_families,
+    resolve_design,
+)
 from .paths import TimingPath, extract_critical_paths, format_path_report
 from .reports import format_comparison, format_qor_report
 from .variation import VariationField, normalize_params
@@ -45,7 +76,27 @@ from .verilog import VerilogParseError, read_verilog, write_verilog
 
 __all__ = [
     "AluSpec",
+    "CpuSpec",
+    "DesignFamily",
+    "FabricSpec",
     "FirSpec",
+    "LARGE_CPU",
+    "LARGE_FABRIC",
+    "PAPER_LARGE_CPU",
+    "PAPER_LARGE_FABRIC",
+    "PAPER_SMALL_CPU",
+    "PAPER_SMALL_FABRIC",
+    "SMALL_CPU",
+    "SMALL_FABRIC",
+    "design_family",
+    "estimate_cpu_cell_count",
+    "estimate_fabric_cell_count",
+    "family_token",
+    "generate_cpu_netlist",
+    "generate_fabric_netlist",
+    "register_design_family",
+    "registered_design_families",
+    "resolve_design",
     "TimingPath",
     "extract_critical_paths",
     "format_comparison",

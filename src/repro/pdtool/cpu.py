@@ -1,0 +1,203 @@
+"""CPU-core design generator (Z80/6502-class microarchitecture).
+
+Builds a gate-level single-issue CPU core slice: a registered
+instruction word is decoded into register-file addresses and an ALU
+opcode, two read ports mux the architectural register file onto the
+datapath, the ALU (bitwise units + carry-lookahead adder + shifter)
+computes the result, and write-back muxes steer it into the next-state
+register file under one-hot write enables.  Like the MAC accumulator,
+the architectural state loop is unrolled — current state is a
+registered shadow, next state is a fresh register rank — keeping the
+netlist append-only/acyclic while staying timing- and power-equivalent
+to the real loop.
+
+Control-heavy mux trees plus a wide register file give this family a
+very different QoR response surface from the MAC/FIR datapaths, which
+is what the cross-design transfer scenarios need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .library import CellLibrary
+from .mac import _cla_add, _register_bank
+from .netlist import PRIMARY_INPUT, Netlist
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Parameters of a generated CPU core.
+
+    Attributes:
+        width: Datapath bit-width.
+        n_regs: Architectural register count (power of two).
+        name: Design name (first ``_``-separated token is the family).
+    """
+
+    width: int = 8
+    n_regs: int = 8
+    name: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if self.n_regs < 2 or self.n_regs & (self.n_regs - 1):
+            raise ValueError("n_regs must be a power of two >= 2")
+
+
+#: Reduced-scale specs (default; see DESIGN.md §14).  Paper-scale specs
+#: are selected with ``PPATUNER_FULL`` by the bench layer.
+SMALL_CPU = CpuSpec(width=8, n_regs=8, name="cpu_small")
+LARGE_CPU = CpuSpec(width=16, n_regs=16, name="cpu_large")
+PAPER_SMALL_CPU = CpuSpec(width=24, n_regs=32, name="cpu_8k")
+PAPER_LARGE_CPU = CpuSpec(width=32, n_regs=64, name="cpu_18k")
+
+
+def _input_word(nl: Netlist, bits: int) -> list[int]:
+    """Register a fresh ``bits``-wide primary-input word."""
+    word = []
+    for _ in range(bits):
+        nl.add_input()
+        word.append(PRIMARY_INPUT)
+    return _register_bank(nl, word)
+
+
+def _read_port(
+    nl: Netlist, regs: list[list[int]], sel: list[int]
+) -> list[int]:
+    """Binary MUX2 tree reading one register-file port.
+
+    Args:
+        nl: Netlist under construction.
+        regs: ``n_regs`` registers, each a list of bit drivers.
+        sel: Address bits, LSB first (``log2(n_regs)`` of them).
+
+    Returns:
+        The selected word's bit drivers.
+    """
+    layer = regs
+    for s in sel:
+        layer = [
+            [
+                nl.add_cell("MUX2", [layer[i][b], layer[i + 1][b], s])
+                for b in range(len(layer[i]))
+            ]
+            for i in range(0, len(layer), 2)
+        ]
+    assert len(layer) == 1
+    return layer[0]
+
+
+def _one_hot(nl: Netlist, sel: list[int], n: int) -> list[int]:
+    """One-hot decode of ``sel`` (LSB first) into ``n`` enable lines."""
+    inv = [nl.add_cell("INV", [s]) for s in sel]
+    lines = []
+    for code in range(n):
+        bits = [
+            sel[k] if (code >> k) & 1 else inv[k]
+            for k in range(len(sel))
+        ]
+        term = bits[0]
+        for b in bits[1:]:
+            term = nl.add_cell("AND2", [term, b])
+        lines.append(term)
+    return lines
+
+
+def generate_cpu_netlist(
+    spec: CpuSpec, library: CellLibrary | None = None
+) -> Netlist:
+    """Build a gate-level CPU core netlist from ``spec``.
+
+    Datapath per cycle: instruction register -> decode (one-hot write
+    enables + ALU opcode) -> register-file read ports -> ALU
+    (add/and/or/xor/shift) -> flags -> write-back mux into the
+    next-state register rank.
+
+    Args:
+        spec: Core-scale parameters.
+        library: Cell library; defaults to the synthetic 7 nm library.
+
+    Returns:
+        A validated :class:`Netlist`.
+    """
+    library = library or CellLibrary.default_7nm()
+    nl = Netlist(spec.name, library)
+    addr_bits = (spec.n_regs - 1).bit_length()
+
+    # Instruction register: opcode + rs/rt/rd register fields.
+    op = _input_word(nl, 3)
+    rs = _input_word(nl, addr_bits)
+    rt = _input_word(nl, addr_bits)
+    rd = _input_word(nl, addr_bits)
+
+    # Architectural register file, current state (registered shadow of
+    # externally-loaded state, as in the MAC accumulator unroll).
+    regs = [_input_word(nl, spec.width) for _ in range(spec.n_regs)]
+
+    # Decode: one-hot write enables, gated by a registered global
+    # write-enable (the design's high-fanout control net).
+    nl.add_input()
+    wen = nl.add_cell("DFF", [PRIMARY_INPUT], name="wen_reg")
+    enables = [
+        nl.add_cell("AND2", [line, wen])
+        for line in _one_hot(nl, rd, spec.n_regs)
+    ]
+
+    # Read ports.
+    a = _read_port(nl, regs, rs)
+    b = _read_port(nl, regs, rt)
+
+    # ALU: bitwise units, CLA adder, shift-left, muxed by opcode.
+    and_bits = [nl.add_cell("AND2", [a[i], b[i]])
+                for i in range(spec.width)]
+    or_bits = [nl.add_cell("OR2", [a[i], b[i]])
+               for i in range(spec.width)]
+    xor_bits = [nl.add_cell("XOR2", [a[i], b[i]])
+                for i in range(spec.width)]
+    sum_bits = _cla_add(nl, a, b)[: spec.width]
+    zero = nl.add_cell("NOR2", [op[0], op[0]])  # constant-ish filler
+    shl_bits = [zero] + a[: spec.width - 1]
+
+    result = []
+    for i in range(spec.width):
+        lo = nl.add_cell("MUX2", [and_bits[i], or_bits[i], op[0]])
+        hi = nl.add_cell("MUX2", [xor_bits[i], sum_bits[i], op[0]])
+        arith = nl.add_cell("MUX2", [lo, hi, op[1]])
+        result.append(nl.add_cell("MUX2", [arith, shl_bits[i], op[2]]))
+
+    # Flags: zero (NOR reduction) and sign, registered.
+    nz = result[0]
+    for bit in result[1:]:
+        nz = nl.add_cell("OR2", [nz, bit])
+    zero_flag = nl.add_cell("INV", [nz])
+    _register_bank(nl, [zero_flag, result[-1]])
+
+    # Write-back: next-state register rank behind per-register hold
+    # muxes (hold current value unless this register's enable fires).
+    for r in range(spec.n_regs):
+        next_bits = [
+            nl.add_cell("MUX2", [regs[r][i], result[i], enables[r]])
+            for i in range(spec.width)
+        ]
+        _register_bank(nl, next_bits)
+
+    nl.validate()
+    return nl
+
+
+def estimate_cpu_cell_count(spec: CpuSpec) -> int:
+    """Exact analytic instance count for ``spec`` (without generating).
+
+    Mirrors :func:`generate_cpu_netlist` term by term; the CLA costs
+    ``5*width - 3`` cells (2 per generate/propagate pair plus 3 per
+    rippled carry).
+    """
+    addr_bits = (spec.n_regs - 1).bit_length()
+    state = 2 * spec.n_regs * spec.width       # shadow + next-state DFFs
+    instr = 3 + 3 * addr_bits + 1              # op/rs/rt/rd + wen regs
+    decode = addr_bits + spec.n_regs * addr_bits  # one-hot + gating
+    read = 2 * spec.width * (spec.n_regs - 1)  # two read-port mux trees
+    alu = 3 * spec.width + (5 * spec.width - 3) + 1 + 4 * spec.width
+    flags = spec.width + 2                     # OR chain + INV + 2 DFFs
+    writeback = spec.n_regs * spec.width       # hold muxes
+    return state + instr + decode + read + alu + flags + writeback

@@ -1,0 +1,187 @@
+"""Structured-ASIC fabric design generator.
+
+A structured ASIC is a prefabricated grid of identical logic tiles
+(LUT + output register) personalized by a configuration bitstream, with
+fixed routing channels between tile rows and a prefabricated H-tree
+clock spine.  This generator builds a structurally faithful gate-level
+fabric: a ``rows x cols`` tile grid where each tile is a
+``lut_inputs``-input LUT built from a MUX2 tree over configuration
+bits, the configuration bits form one long shift chain (the bitstream
+scan path), inter-row routing runs over a fixed number of buffered
+channel tracks, and a CLKBUF H-tree of configurable depth broadcasts
+the tile enable.
+
+The family is *regular* where the MAC family is *datapath-shaped*:
+short reg-to-reg logic cones, very high DFF fraction (configuration
+cells), and buffer-dominated routing — so fabric benchmarks exercise
+transfer where source and target genuinely differ (ROADMAP item 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .library import CellLibrary
+from .mac import _register_bank
+from .netlist import PRIMARY_INPUT, Netlist
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Parameters of a generated structured-ASIC fabric.
+
+    Attributes:
+        rows: Tile rows in the grid.
+        cols: Tile columns in the grid.
+        lut_inputs: LUT input count per tile (the tile's logic depth).
+        htree_depth: Depth of the CLKBUF enable H-tree (``2**depth``
+            leaf buffers; deeper trees model larger prefab die).
+        channel_tracks: Buffered routing tracks per column carried
+            across each inter-row channel.
+        name: Design name (first ``_``-separated token is the family).
+    """
+
+    rows: int = 4
+    cols: int = 5
+    lut_inputs: int = 3
+    htree_depth: int = 3
+    channel_tracks: int = 2
+    name: str = "fabric"
+
+
+#: Reduced-scale specs (default; see DESIGN.md §14).  Paper-scale specs
+#: are selected with ``PPATUNER_FULL`` by the bench layer.
+SMALL_FABRIC = FabricSpec(rows=4, cols=5, lut_inputs=3, htree_depth=3,
+                          channel_tracks=2, name="fabric_small")
+LARGE_FABRIC = FabricSpec(rows=8, cols=8, lut_inputs=4, htree_depth=4,
+                          channel_tracks=2, name="fabric_large")
+PAPER_SMALL_FABRIC = FabricSpec(rows=12, cols=12, lut_inputs=4,
+                                htree_depth=5, channel_tracks=3,
+                                name="fabric_9k")
+PAPER_LARGE_FABRIC = FabricSpec(rows=18, cols=18, lut_inputs=4,
+                                htree_depth=6, channel_tracks=3,
+                                name="fabric_21k")
+
+
+def _enable_htree(nl: Netlist, root: int, depth: int) -> list[int]:
+    """Balanced CLKBUF tree under ``root``; returns the leaf drivers."""
+    level = [nl.add_cell("CLKBUF", [root], drive=4, name="ht_root")]
+    for _ in range(depth):
+        level = [
+            nl.add_cell("CLKBUF", [node], drive=2)
+            for node in level
+            for _ in range(2)
+        ]
+    return level
+
+
+def _lut(nl: Netlist, inputs: list[int], cfg_bits: list[int]) -> int:
+    """MUX2 tree implementing a LUT: ``2**len(inputs)`` config leaves
+    folded one select input at a time; returns the output driver."""
+    layer = list(cfg_bits)
+    for sel in inputs:
+        layer = [
+            nl.add_cell("MUX2", [layer[i], layer[i + 1], sel])
+            for i in range(0, len(layer), 2)
+        ]
+    assert len(layer) == 1
+    return layer[0]
+
+
+def generate_fabric_netlist(
+    spec: FabricSpec, library: CellLibrary | None = None
+) -> Netlist:
+    """Build a gate-level structured-ASIC fabric from ``spec``.
+
+    Per tile: ``lut_inputs`` routing muxes pick tile inputs off the
+    row's channel tracks, a MUX2-tree LUT over shift-chain config bits
+    computes the tile function, the output is gated by the H-tree
+    enable leaf and registered.  Row outputs plus buffered continuation
+    tracks form the next row's channel.
+
+    Args:
+        spec: Fabric-scale parameters.
+        library: Cell library; defaults to the synthetic 7 nm library.
+
+    Returns:
+        A validated :class:`Netlist`.
+    """
+    library = library or CellLibrary.default_7nm()
+    nl = Netlist(spec.name, library)
+
+    # Configuration bitstream: one scan input feeding a shift chain; a
+    # fresh chain stage per config bit (the structured-ASIC "SRAM").
+    nl.add_input()
+    cfg_prev = nl.add_cell("DFF", [PRIMARY_INPUT], name="cfg_head")
+
+    def next_cfg() -> int:
+        nonlocal cfg_prev
+        cfg_prev = nl.add_cell("DFF", [cfg_prev])
+        return cfg_prev
+
+    # Global tile enable broadcast over the prefab H-tree.
+    nl.add_input()
+    enable = nl.add_cell("DFF", [PRIMARY_INPUT], name="en_reg")
+    leaves = _enable_htree(nl, enable, spec.htree_depth)
+
+    # Initial channel: registered primary inputs, one track bundle per
+    # column.
+    width = spec.cols * spec.channel_tracks
+    channel_in = []
+    for _ in range(width):
+        nl.add_input()
+        channel_in.append(PRIMARY_INPUT)
+    channel = _register_bank(nl, channel_in)
+
+    for r in range(spec.rows):
+        row_out: list[int] = []
+        for c in range(spec.cols):
+            tile = r * spec.cols + c
+            base = c * spec.channel_tracks
+            # Routing muxes: each LUT input picks between two channel
+            # tracks under a config bit (the personalization vias).
+            inputs = [
+                nl.add_cell("MUX2", [
+                    channel[(base + k) % width],
+                    channel[(base + k + 1 + r) % width],
+                    next_cfg(),
+                ])
+                for k in range(spec.lut_inputs)
+            ]
+            cfg_bits = [next_cfg() for _ in range(2 ** spec.lut_inputs)]
+            out = _lut(nl, inputs, cfg_bits)
+            gated = nl.add_cell(
+                "AND2", [out, leaves[tile % len(leaves)]]
+            )
+            row_out.append(nl.add_cell("DFF", [gated]))
+        # Next channel: this row's outputs plus buffered continuation
+        # tracks (the fixed inter-row routing channel).
+        carried = [
+            nl.add_cell("BUF", [channel[(i + spec.cols) % width]])
+            for i in range(width - spec.cols)
+        ]
+        channel = row_out + carried
+
+    # Output ring: register the final channel.
+    _register_bank(nl, channel[: spec.cols])
+
+    nl.validate()
+    return nl
+
+
+def estimate_fabric_cell_count(spec: FabricSpec) -> int:
+    """Cheap analytic instance-count estimate for ``spec``."""
+    per_tile = (
+        2 * spec.lut_inputs          # routing muxes + their config bits
+        + 2 ** spec.lut_inputs       # LUT config bits
+        + 2 ** spec.lut_inputs - 1   # LUT mux tree
+        + 2                          # enable gate + tile register
+    )
+    tiles = spec.rows * spec.cols
+    width = spec.cols * spec.channel_tracks
+    return (
+        tiles * per_tile
+        + spec.rows * (width - spec.cols)     # channel buffers
+        + 2 ** (spec.htree_depth + 1) - 1     # H-tree CLKBUFs
+        + width + spec.cols + 2               # I/O registers + control
+    )

@@ -161,6 +161,34 @@ def _method_config(spec: RunSpec, ppa_config):
     )
 
 
+def _spec_pruning(spec: RunSpec, source, target):
+    """The cell's optional knob-importance pruning (``prune_space``
+    spec param).
+
+    FIST-style: importances come from the *source* golden table (the
+    prior design's full table — known before any target tool run) and
+    restrict the shared knob columns both pools are sliced to.  The
+    pruning seed derives from ``(seed, "prune")`` only, so every cell
+    of one scenario sees the same knob subset (shared information by
+    key, like the init design).
+
+    Returns ``None`` when pruning is off.
+    """
+    import json
+
+    raw = spec.param("prune_space", None)
+    if raw is None:
+        return None
+    from ..ml.importance import prune_space
+
+    settings = json.loads(raw)
+    return prune_space(
+        target.space, source.X, source.Y,
+        seed=derive_seed(spec.seed, "prune"),
+        **settings,
+    )
+
+
 def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
                        recorder=NULL_RECORDER):
     """One (method, objective-space) cell of a paper table."""
@@ -174,6 +202,11 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
     src_idx = _source_subset(spec, source)
     X_source = source.X[src_idx]
     Y_source = source.objectives(names)[src_idx]
+    X_pool = target.X
+    pruned = _spec_pruning(spec, source, target)
+    if pruned is not None:
+        X_pool = pruned.slice(X_pool)
+        X_source = pruned.slice(X_source)
     init = _shared_init(spec, target)
     n_init = len(init)
     budget_frac = PAPER_BUDGET_FRACTIONS.get(spec.method, {}).get(
@@ -191,7 +224,7 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
     _attach_recorder(tuner, recorder)
     oracle = _cell_oracle(spec, target.objectives(names))
     result = tuner.tune(
-        target.X, oracle,
+        X_pool, oracle,
         sources=[(X_source, Y_source)],
         init_indices=init.copy(),
     )
@@ -199,7 +232,10 @@ def _run_scenario_cell(spec: RunSpec, source, target, ppa_config,
         spec.method, spec.objective_space, result, target, names
     )
     outcome.repeat = spec.repeat
-    return outcome, {}, _calibration_counters(tuner)
+    extras = {}
+    if pruned is not None:
+        extras["pruned_knobs"] = list(pruned.dropped)
+    return outcome, extras, _calibration_counters(tuner)
 
 
 def _run_tune_cell(spec: RunSpec, source, target, ppa_config,

@@ -9,6 +9,7 @@ from repro.bench import (
     BENCHMARK_DESIGN,
     OBJECTIVE_SPACES,
     PAPER_POOL_SIZES,
+    POOL_SIZES,
     QOR_METRICS,
     SPACES,
     generate_benchmark,
@@ -106,13 +107,18 @@ class TestTable1Spaces:
         assert source2_space().names == target2_space().names
 
     def test_designs(self):
-        assert BENCHMARK_DESIGN["target2"] == "large"
+        assert BENCHMARK_DESIGN["target2"] == "mac_large"
         assert {
             BENCHMARK_DESIGN[n] for n in ("source1", "target1", "source2")
-        } == {"small"}
+        } == {"mac_small"}
 
     def test_registry_complete(self):
-        assert set(SPACES) == set(PAPER_POOL_SIZES)
+        assert set(SPACES) == set(POOL_SIZES)
+        assert set(SPACES) == set(BENCHMARK_DESIGN)
+        assert set(PAPER_POOL_SIZES) <= set(POOL_SIZES)
+        assert all(
+            POOL_SIZES[n] == PAPER_POOL_SIZES[n] for n in PAPER_POOL_SIZES
+        )
 
 
 class TestBenchmarkDataset:
